@@ -1,0 +1,96 @@
+#!/usr/bin/env python3
+"""Ocean acoustics + gravity: the two wave families in one water column.
+
+Demonstrates the physics separation the fully coupled model captures and
+shallow-water models cannot (paper Secs. 1-3): in a closed water box the
+same initial pressure disturbance excites
+
+* acoustic organ-pipe modes (periods ~ 4h/c, set by compressibility), and
+* surface gravity waves (dispersion w^2 = g k tanh(k h)),
+
+both measured here against their exact frequencies.
+
+Run:  python examples/ocean_acoustics.py
+"""
+
+import numpy as np
+from scipy.optimize import brentq
+
+from repro.analysis.spectra import amplitude_spectrum, dominant_frequency
+from repro.core.materials import acoustic
+from repro.core.riemann import FaceKind
+from repro.core.solver import CoupledSolver
+from repro.mesh.generators import box_mesh
+
+
+def main():
+    h, L, c, rho, g = 1.0, 4.0, 20.0, 1000.0, 9.81
+    ocean = acoustic(rho, c)
+    m = box_mesh(
+        np.linspace(0, L, 9), np.linspace(0, 0.5, 2), np.linspace(-h, 0, 5), [ocean]
+    )
+    m.glue_periodic(np.array([L, 0, 0]))
+    m.glue_periodic(np.array([0, 0.5, 0]))
+
+    def tagger(cent, nrm):
+        tags = np.full(len(cent), FaceKind.WALL.value)
+        tags[nrm[:, 2] > 0.99] = FaceKind.GRAVITY_FREE_SURFACE.value
+        return tags
+
+    m.tag_boundary(tagger)
+    solver = CoupledSolver(m, order=3)
+    print(f"water box {L} x {h} m, c = {c} m/s: {m.n_elements} elements")
+
+    # exact frequencies of the k = 2 pi / L modes
+    k = 2 * np.pi / L
+    f_grav_exact = lambda kap: c**2 * (k**2 - kap**2) - g * kap * np.tanh(kap * h)
+    kap = brentq(f_grav_exact, 1e-9, k * (1 - 1e-12))
+    om_gravity = np.sqrt(g * kap * np.tanh(kap * h))
+    # lowest acoustic branch: omega^2 = c^2 (k^2 + m^2), -g m tan(m h) = w^2
+    def f_ac(mv):
+        w2 = c**2 * (k**2 + mv**2)
+        return w2 + g * mv * np.tan(mv * h)
+
+    m_ac = brentq(f_ac, 0.5 * np.pi / h + 1e-6, 1.5 * np.pi / h - 1e-6)
+    om_acoustic = np.sqrt(c**2 * (k**2 + m_ac**2))
+    print(f"exact gravity-mode omega  = {om_gravity:.4f} rad/s "
+          f"(incompressible {np.sqrt(g * k * np.tanh(k * h)):.4f})")
+    print(f"exact acoustic-mode omega = {om_acoustic:.4f} rad/s "
+          f"(rigid organ pipe {c * np.pi / (2 * h) * np.sqrt(1 + (2 * k * h / np.pi) ** 2):.4f})")
+
+    # seed both: a pressure disturbance cos(k x), depth-uniform
+    def ic(x):
+        out = np.zeros((len(x), 9))
+        p = 50.0 * np.cos(k * x[:, 0])
+        out[:, 0] = out[:, 1] = out[:, 2] = -p
+        return out
+
+    solver.set_initial_condition(ic)
+    probe_xy = np.array([[0.05, 0.25]])
+    ts, etas = [], []
+    T_g = 2 * np.pi / om_gravity
+    n_steps = int(1.2 * T_g / solver.dt)
+    print(f"running {n_steps} steps ({1.2 * T_g:.1f} s simulated) ...")
+    for i in range(n_steps):
+        solver.step()
+        ts.append(solver.t)
+        etas.append(solver.gravity.sample(probe_xy)[0])
+    ts, etas = np.array(ts), np.array(etas)
+
+    freqs, amps = amplitude_spectrum(ts, etas)
+    om = 2 * np.pi * freqs
+    # gravity peak: below 2x gravity frequency; acoustic peak: near om_acoustic
+    low = om < 2 * om_gravity
+    om_g_meas = om[low][np.argmax(amps[low])]
+    hi = (om > 0.6 * om_acoustic) & (om < 1.6 * om_acoustic)
+    om_a_meas = om[hi][np.argmax(amps[hi])] if hi.any() else np.nan
+    print(f"measured gravity peak : {om_g_meas:.3f} rad/s "
+          f"(error {abs(om_g_meas - om_gravity) / om_gravity * 100:.1f}%)")
+    print(f"measured acoustic peak: {om_a_meas:.3f} rad/s "
+          f"(error {abs(om_a_meas - om_acoustic) / om_acoustic * 100:.1f}%)")
+    print("both wave families coexist on the same sea surface — the")
+    print("superposition the paper measures in Palu Bay (Fig. 1).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,84 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``info``
+    Print version and a summary of the available subsystems.
+``quickstart``
+    Run the coupled Earth-ocean quickstart simulation.
+``scenario-a [--t-end T]``
+    Scaled Scenario-A benchmark: fully coupled vs one-way linked (Fig. 3).
+``palu [--t-end T]``
+    Scaled Palu supershear earthquake-tsunami scenario (Fig. 1).
+``scaling``
+    Strong-scaling study on the simulated machines (Fig. 6).
+``acoustics``
+    Acoustic + gravity wave dispersion demonstration.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(
+        prog="repro", description="3D acoustic-elastic coupling with gravity (SC'21 reproduction)"
+    )
+    sub = ap.add_subparsers(dest="command")
+    sub.add_parser("info", help="version and subsystem summary")
+    sub.add_parser("quickstart", help="coupled Earth-ocean quickstart")
+    p_a = sub.add_parser("scenario-a", help="Scenario-A coupled vs linked (Fig. 3)")
+    p_a.add_argument("--t-end", type=float, default=6.0)
+    p_p = sub.add_parser("palu", help="Palu supershear scenario (Fig. 1)")
+    p_p.add_argument("--t-end", type=float, default=4.0)
+    sub.add_parser("scaling", help="strong scaling on simulated machines (Fig. 6)")
+    sub.add_parser("acoustics", help="acoustic/gravity dispersion demo")
+    args = ap.parse_args(argv)
+
+    if args.command is None:
+        ap.print_help()
+        return 1
+    if args.command == "info":
+        import repro
+
+        print(f"repro {repro.__version__} — SC'21 Palu earthquake-tsunami reproduction")
+        print(__doc__)
+        return 0
+
+    # the runnable demos live in <repo>/examples (editable install layout)
+    import os
+
+    repo_root = os.path.dirname(os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
+    examples_dir = os.path.join(repo_root, "examples")
+    if not os.path.isdir(examples_dir):
+        print("examples/ directory not found (CLI demos need the source checkout)")
+        return 2
+    sys.path.insert(0, examples_dir)
+
+    if args.command == "quickstart":
+        from quickstart import main as run
+
+        run()
+    elif args.command == "scenario-a":
+        from scenario_a_benchmark import main as run
+
+        run(args.t_end)
+    elif args.command == "palu":
+        from palu_bay import main as run
+
+        run(args.t_end)
+    elif args.command == "scaling":
+        from scaling_study import main as run
+
+        run()
+    elif args.command == "acoustics":
+        from ocean_acoustics import main as run
+
+        run()
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

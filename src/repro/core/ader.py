@@ -1,0 +1,92 @@
+"""ADER predictor: the discrete Cauchy-Kowalewski procedure (paper Eq. 12).
+
+Given the modal solution ``Q`` on a batch of elements, the predictor
+computes all time derivatives ``d^k Q / dt^k`` by recursively substituting
+time derivatives with spatial derivatives through the PDE:
+
+    ``dQ/dt = - sum_k Astar_k (dQ/dxi_k)``
+
+where ``Astar_k = sum_d invJ[k, d] A_d`` are the per-element "star"
+Jacobians in reference coordinates.  The resulting element-local Taylor
+expansion in time is the workhorse of the scheme: it supplies
+
+* the time-integrated face data of the corrector step,
+* point-in-time traces for the gravity free-surface ODE stages (Sec. 4.3),
+* point-in-time traces for the dynamic-rupture time quadrature, and
+* sub-interval integrals for local time-stepping (Sec. 4.4).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .basis import ReferenceElement
+from .materials import jacobians
+
+__all__ = ["star_matrices", "ck_derivatives", "taylor_integrate", "taylor_evaluate"]
+
+
+def star_matrices(mesh) -> np.ndarray:
+    """Per-element reference-coordinate Jacobians, shape ``(ne, 3, 9, 9)``.
+
+    ``star[e, k] = sum_d inv_jac[e, k, d] * (A, B, C)[d]`` of the element's
+    material.
+    """
+    mats = [jacobians(m) for m in mesh.materials]
+    ABC = np.stack([np.stack(j) for j in mats])  # (nmat, 3, 9, 9)
+    per_elem = ABC[mesh.material_ids]  # (ne, 3, 9, 9)
+    return np.einsum("ekd,edij->ekij", mesh.inv_jac, per_elem)
+
+
+def ck_derivatives(Q: np.ndarray, star: np.ndarray, ref: ReferenceElement) -> np.ndarray:
+    """All time derivatives of the modal solution: ``(ne, N+1, B, 9)``.
+
+    ``out[:, 0]`` is ``Q`` itself; ``out[:, k]`` holds ``d^k Q/dt^k``.
+    Each Cauchy-Kowalewski level loses one polynomial degree, so the modal
+    derivative operators could be truncated per level; we keep full size for
+    simplicity (the batched GEMM is bandwidth-bound anyway).
+    """
+    ne, nb, nq = Q.shape
+    order = ref.order
+    out = np.empty((ne, order + 1, nb, nq))
+    out[:, 0] = Q
+    starT = star.transpose(0, 1, 3, 2)  # (ne, 3, 9, 9) transposed blocks
+    for k in range(order):
+        acc = np.zeros((ne, nb, nq))
+        for d in range(3):
+            # (B,B) @ (ne,B,9) -> (ne,B,9), then contract quantity index
+            acc += np.matmul(ref.deriv[d] @ out[:, k], starT[:, d])
+        out[:, k + 1] = -acc
+    return out
+
+
+def taylor_integrate(derivs: np.ndarray, t0: float, t1: float) -> np.ndarray:
+    """Integral of the Taylor expansion over ``[t0, t1]`` (relative times).
+
+    ``t0``/``t1`` are measured from the expansion point.  Returns modal
+    coefficients of ``int_t0^t1 q(t) dt``, shape ``(ne, B, 9)``.
+    """
+    nk = derivs.shape[1]
+    out = np.zeros_like(derivs[:, 0])
+    fact = 1.0
+    for k in range(nk):
+        fact *= k + 1  # (k+1)!
+        out += (t1 ** (k + 1) - t0 ** (k + 1)) / fact * derivs[:, k]
+    return out
+
+
+def taylor_evaluate(derivs: np.ndarray, tau) -> np.ndarray:
+    """Evaluate the Taylor expansion at relative time(s) ``tau``.
+
+    For scalar ``tau`` returns ``(ne, B, 9)``; for an array of ``nt`` times
+    returns ``(nt, ne, B, 9)``.
+    """
+    taus = np.atleast_1d(np.asarray(tau, dtype=float))
+    nk = derivs.shape[1]
+    out = np.zeros((len(taus),) + derivs[:, 0].shape)
+    fact = 1.0
+    for k in range(nk):
+        if k > 0:
+            fact *= k
+        out += (taus ** k / fact)[:, None, None, None] * derivs[:, k]
+    return out if np.ndim(tau) else out[0]

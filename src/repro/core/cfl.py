@@ -1,0 +1,27 @@
+"""CFL timestep computation (paper Eq. 27).
+
+``dt <= C(N) * h / lambda_max`` with ``h`` the insphere diameter of the
+tetrahedron and ``lambda_max = cp`` the maximum wave speed of the element's
+material.  The paper uses ``C(N) = 0.35 / (2N + 1)`` (Sec. 6).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["cfl_factor", "element_timesteps"]
+
+
+def cfl_factor(order: int, safety: float = 0.35) -> float:
+    """``C(N) = safety / (2N + 1)``."""
+    if order < 0:
+        raise ValueError("order must be >= 0")
+    if not 0 < safety <= 1:
+        raise ValueError("safety factor must be in (0, 1]")
+    return safety / (2.0 * order + 1.0)
+
+
+def element_timesteps(mesh, order: int, safety: float = 0.35) -> np.ndarray:
+    """Admissible timestep of every element of ``mesh`` at degree ``order``."""
+    cp = np.array([m.cp for m in mesh.materials])[mesh.material_ids]
+    return cfl_factor(order, safety) * mesh.insphere_diameter / cp

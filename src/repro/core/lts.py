@@ -1,0 +1,257 @@
+"""Clustered rate-2 local time-stepping (paper Sec. 4.4).
+
+Elements are grouped into clusters with timestep ``2^c * dt_min``; the
+cluster assignment is *normalized* so neighboring elements differ by at most
+one level (SeisSol's constraint, which keeps the flux exchange simple and
+the loops batched).  Fault faces and their two adjacent elements are forced
+into a common cluster.
+
+Flux exchange across cluster boundaries exploits the polynomial-in-time
+ADER predictor (the property the paper highlights as making LTS "easy and
+efficient" with ADER):
+
+* a neighbor in a *coarser* cluster predicted earlier with a longer window;
+  its Taylor expansion is simply integrated over the fine element's
+  sub-window;
+* a neighbor in a *finer* cluster accumulates its completed window integrals
+  into a buffer which the coarse element consumes at its next corrector —
+  SeisSol's buffer mechanism.
+
+The scheduler is event-driven: a cluster may step when (i) every coarser
+neighboring cluster's Taylor expansion covers the step window and (ii)
+every finer neighboring cluster has completed the window (buffer full).
+With rate-2 clustering this reproduces the canonical recursive ordering.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .ader import ck_derivatives, taylor_integrate
+from .cfl import element_timesteps
+
+__all__ = ["cluster_elements", "lts_statistics", "LocalTimeStepping"]
+
+
+def cluster_elements(
+    mesh, order: int, rate: int = 2, safety: float = 0.35, max_cluster: int | None = None
+):
+    """Assign every element to an LTS cluster.
+
+    Returns ``(cluster_id, dt_min)`` where cluster ``c`` advances with
+    ``rate^c * dt_min``.  Normalization enforces (a) neighbor clusters
+    differing by at most one level and (b) both sides of a dynamic-rupture
+    fault face sharing a cluster.
+    """
+    dts = element_timesteps(mesh, order, safety)
+    dt_min = float(dts.min())
+    cluster = np.floor(np.log(dts / dt_min) / np.log(rate) + 1e-12).astype(np.int64)
+    if max_cluster is not None:
+        cluster = np.minimum(cluster, max_cluster)
+
+    em = mesh.interior.minus_elem
+    ep = mesh.interior.plus_elem
+    fault = mesh.interior.is_fault
+    # iterate to the fixed point: cluster ids only decrease and are bounded
+    # below by 0, so this terminates; the number of sweeps needed can reach
+    # the graph diameter (e.g. equality constraints chained along a fault)
+    for _ in range(mesh.n_elements + 1):
+        before = cluster.copy()
+        if fault.any():
+            lo = np.minimum(cluster[em[fault]], cluster[ep[fault]])
+            np.minimum.at(cluster, em[fault], lo)
+            np.minimum.at(cluster, ep[fault], lo)
+        np.minimum.at(cluster, em, cluster[ep] + 1)
+        np.minimum.at(cluster, ep, cluster[em] + 1)
+        if (cluster == before).all():
+            break
+    else:
+        raise RuntimeError("LTS cluster normalization failed to converge")
+    return cluster, dt_min
+
+
+def lts_statistics(cluster: np.ndarray, rate: int = 2) -> dict:
+    """Histogram and update-reduction factor of a clustering (cf. Fig. 4).
+
+    The speedup factor compares the number of element updates needed to
+    advance one macro step with LTS against global time-stepping at
+    ``dt_min``.
+    """
+    cmax = int(cluster.max())
+    counts = np.bincount(cluster, minlength=cmax + 1)
+    updates_lts = sum(int(n) * rate ** (cmax - c) for c, n in enumerate(counts))
+    updates_gts = int(cluster.size) * rate**cmax
+    return {
+        "counts": counts,
+        "dt_factors": [rate**c for c in range(cmax + 1)],
+        "updates_lts": updates_lts,
+        "updates_gts": updates_gts,
+        "speedup": updates_gts / max(updates_lts, 1),
+    }
+
+
+class LocalTimeStepping:
+    """LTS driver wrapping a :class:`~repro.core.solver.CoupledSolver`.
+
+    Reuses the solver's spatial operator, gravity boundary, fault solver and
+    sources; only the time-marching differs.
+    """
+
+    def __init__(self, solver, rate: int = 2, max_cluster: int | None = None):
+        self.solver = solver
+        self.op = solver.op
+        mesh = solver.mesh
+        self.rate = rate
+        self.cluster, self.dt_min = cluster_elements(
+            mesh, solver.order, rate, solver.cfl_safety, max_cluster
+        )
+        self.cmax = int(self.cluster.max())
+        self.n_clusters = self.cmax + 1
+        self.masks = [self.cluster == c for c in range(self.n_clusters)]
+        self.elem_count = np.array([int(m.sum()) for m in self.masks])
+
+        em, ep = mesh.interior.minus_elem, mesh.interior.plus_elem
+        cm, cp = self.cluster[em], self.cluster[ep]
+        self.adjacent = [set() for _ in range(self.n_clusters)]
+        for a, b in zip(cm, cp):
+            if a != b:
+                self.adjacent[int(a)].add(int(b))
+                self.adjacent[int(b)].add(int(a))
+
+        g = solver.gravity
+        self.gravity_masks = [self.cluster[g.elem] == c for c in range(self.n_clusters)]
+        if solver.motion is not None:
+            me = solver.motion.elem
+            self.motion_masks = [self.cluster[me] == c for c in range(self.n_clusters)]
+        else:
+            self.motion_masks = None
+        self.updates = np.zeros(self.n_clusters, dtype=np.int64)
+
+    def statistics(self) -> dict:
+        return lts_statistics(self.cluster, self.rate)
+
+    # ------------------------------------------------------------------
+    def run(self, t_end: float, callback=None) -> None:
+        """Advance all clusters to exactly ``t_end``.
+
+        ``dt_min`` is shrunk slightly so that the macro timestep divides the
+        remaining time (keeps the rate-2 synchronization invariants intact).
+        ``callback(solver)`` fires at every macro-step synchronization point
+        (all clusters aligned), with ``solver.t`` set to that time.
+        """
+        solver = self.solver
+        rate, cmax = self.rate, self.cmax
+        dt_macro = self.dt_min * rate**cmax
+        span = t_end - solver.t
+        if span <= 0:
+            return
+        n_macro = max(1, int(np.ceil(span / dt_macro - 1e-12)))
+        dt_min = span / (n_macro * rate**cmax)
+        dts = np.array([dt_min * rate**c for c in range(self.n_clusters)])
+        self._t0 = solver.t
+
+        op = self.op
+        ne, nb = op.n_elements, op.nbasis
+        # exact integer time in units of dt_min: with many clusters the
+        # floating-point drift of accumulated times would otherwise exceed
+        # any fixed epsilon and deadlock the scheduler
+        steps_int = np.array([rate**c for c in range(self.n_clusters)], dtype=np.int64)
+        t_int = np.zeros(self.n_clusters, dtype=np.int64)
+        pred_int = np.zeros(self.n_clusters, dtype=np.int64)
+        end_int = n_macro * rate**cmax
+
+        derivs = op.predict(solver.Q)
+        Iown = np.zeros((ne, nb, 9))
+        Ibuf = np.zeros((ne, nb, 9))
+        for c in range(self.n_clusters):
+            mask = self.masks[c]
+            Iown[mask] = taylor_integrate(derivs[mask], 0.0, dts[c])
+
+        def eligible(c):
+            if t_int[c] >= end_int:
+                return False
+            t_new = t_int[c] + steps_int[c]
+            for cn in self.adjacent[c]:
+                if steps_int[cn] > steps_int[c]:
+                    if pred_int[cn] > t_int[c] or pred_int[cn] + steps_int[cn] < t_new:
+                        return False
+                else:
+                    if t_int[cn] < t_new:
+                        return False
+            return True
+
+        macro = self.rate**cmax
+        next_sync = macro
+        while t_int.min() < end_int:
+            candidates = [
+                (t_int[ci] + steps_int[ci], steps_int[ci], ci)
+                for ci in range(self.n_clusters)
+                if eligible(ci)
+            ]
+            if not candidates:
+                raise RuntimeError("LTS scheduler deadlock (inconsistent clustering)")
+            _, _, c = min(candidates)
+            self._step_cluster(
+                c, t_int, pred_int, steps_int, dt_min, dts, derivs, Iown, Ibuf, end_int
+            )
+            t_int[c] += steps_int[c]
+            self.updates[c] += 1
+            if callback is not None and t_int.min() >= next_sync:
+                solver.t = self._t0 + next_sync * dt_min
+                callback(solver)
+                next_sync += macro
+
+        solver.t = t_end
+
+    # ------------------------------------------------------------------
+    def _step_cluster(
+        self, c, t_int, pred_int, steps_int, dt_min, dts, derivs, Iown, Ibuf, end_int
+    ) -> None:
+        solver = self.solver
+        op = self.op
+        mask = self.masks[c]
+        t_a = t_int[c] * dt_min
+        t_b = t_a + dts[c]
+
+        # assemble per-element time-integrated data for this window
+        I = np.zeros((op.n_elements, op.nbasis, 9))
+        I[mask] = Iown[mask]
+        for cn in self.adjacent[c]:
+            mn = self.masks[cn]
+            if steps_int[cn] > steps_int[c]:
+                off = (t_int[c] - pred_int[cn]) * dt_min
+                I[mn] = taylor_integrate(derivs[mn], off, off + dts[c])
+            else:
+                I[mn] = Ibuf[mn]
+
+        out = np.zeros_like(I)
+        op.volume_residual(I, out, active=mask)
+        op.interior_residual(I, out, active=mask)
+        op.boundary_residual(I, out, active=mask)
+        gmask = self.gravity_masks[c]
+        if gmask.any():
+            solver.gravity.step(derivs, dts[c], out, face_mask=gmask)
+        if self.motion_masks is not None and self.motion_masks[c].any():
+            solver.motion.step(
+                derivs, dts[c], out, t0=self._t0 + t_a, face_mask=self.motion_masks[c]
+            )
+        if solver.fault is not None:
+            solver.fault.step(derivs, dts[c], out, active=mask, t0=self._t0 + t_a)
+        for s in solver.sources:
+            if mask[s._elem]:
+                s.add(out, self._t0 + t_a, dts[c])
+        solver.Q[mask] += out[mask]
+
+        # the just-completed window becomes available to coarser neighbors
+        Ibuf[mask] += Iown[mask]
+        # buffers of finer neighbors covering [t_a, t_b] were consumed above
+        for cn in self.adjacent[c]:
+            if steps_int[cn] < steps_int[c]:
+                Ibuf[self.masks[cn]] = 0.0
+
+        # next predictor for this cluster (skip if the run is over for it)
+        if t_int[c] + steps_int[c] < end_int:
+            new_derivs = ck_derivatives(solver.Q[mask], op.star[mask], op.ref)
+            derivs[mask] = new_derivs
+            Iown[mask] = taylor_integrate(new_derivs, 0.0, dts[c])
+            pred_int[c] = t_int[c] + steps_int[c]

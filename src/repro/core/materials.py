@@ -1,0 +1,142 @@
+"""Material models and PDE Jacobians for the coupled elastic-acoustic system.
+
+The solver works on the 9-variable velocity-stress system (paper Eq. 1)
+
+``q = (sigma_xx, sigma_yy, sigma_zz, sigma_xy, sigma_yz, sigma_xz, vx, vy, vz)``
+
+written in non-conservative form ``dq/dt + A dq/dx + B dq/dy + C dq/dz = 0``
+(paper Eq. 8).  An acoustic medium (the ocean) is embedded as the special
+case ``mu = 0, lambda = K, sigma_ij = -p delta_ij`` (paper Sec. 4.1) —
+identical data layout, which is exactly how SeisSol incorporates the ocean
+without touching its data structures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["Material", "elastic", "acoustic", "jacobians", "jacobian_normal"]
+
+NQ = 9  # number of conserved quantities
+
+# indices into q
+SXX, SYY, SZZ, SXY, SYZ, SXZ, VX, VY, VZ = range(9)
+
+
+@dataclass(frozen=True)
+class Material:
+    """Linear isotropic material (elastic, or acoustic when ``mu == 0``).
+
+    Parameters
+    ----------
+    rho:
+        Density [kg/m^3].
+    lam:
+        First Lamé parameter [Pa].  For an acoustic medium this is the bulk
+        modulus ``K``.
+    mu:
+        Shear modulus [Pa]; ``0`` marks an acoustic (inviscid fluid) medium.
+    """
+
+    rho: float
+    lam: float
+    mu: float = 0.0
+
+    def __post_init__(self):
+        if self.rho <= 0:
+            raise ValueError(f"density must be positive, got {self.rho}")
+        if self.lam + 2 * self.mu <= 0:
+            raise ValueError("lam + 2*mu must be positive")
+        if self.mu < 0:
+            raise ValueError(f"shear modulus must be non-negative, got {self.mu}")
+
+    @property
+    def is_acoustic(self) -> bool:
+        return self.mu == 0.0
+
+    @property
+    def cp(self) -> float:
+        """P-wave speed (speed of sound in an acoustic medium)."""
+        return float(np.sqrt((self.lam + 2.0 * self.mu) / self.rho))
+
+    @property
+    def cs(self) -> float:
+        """S-wave speed (0 in an acoustic medium)."""
+        return float(np.sqrt(self.mu / self.rho))
+
+    @property
+    def Zp(self) -> float:
+        """P impedance ``rho * cp``."""
+        return self.rho * self.cp
+
+    @property
+    def Zs(self) -> float:
+        """S impedance ``rho * cs`` (0 in an acoustic medium)."""
+        return self.rho * self.cs
+
+    @property
+    def max_wave_speed(self) -> float:
+        return self.cp
+
+
+def elastic(rho: float, cp: float, cs: float) -> Material:
+    """Construct an elastic material from density and wave speeds."""
+    mu = rho * cs**2
+    lam = rho * cp**2 - 2.0 * mu
+    return Material(rho=rho, lam=lam, mu=mu)
+
+
+def acoustic(rho: float, cp: float) -> Material:
+    """Construct an acoustic material (ocean) from density and sound speed."""
+    return Material(rho=rho, lam=rho * cp**2, mu=0.0)
+
+
+def jacobians(mat: Material) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """The space Jacobians (A, B, C) of the 9-variable system for ``mat``.
+
+    Sign convention follows paper Eq. (8): ``q_t + A q_x + B q_y + C q_z = 0``.
+    """
+    lam, mu, rho = mat.lam, mat.mu, mat.rho
+    lp2m = lam + 2.0 * mu
+    irho = 1.0 / rho
+    A = np.zeros((NQ, NQ))
+    B = np.zeros((NQ, NQ))
+    C = np.zeros((NQ, NQ))
+
+    # stress rows: d(sigma)/dt = stiffness * velocity gradients
+    A[SXX, VX] = -lp2m
+    A[SYY, VX] = -lam
+    A[SZZ, VX] = -lam
+    A[SXY, VY] = -mu
+    A[SXZ, VZ] = -mu
+    A[VX, SXX] = -irho
+    A[VY, SXY] = -irho
+    A[VZ, SXZ] = -irho
+
+    B[SXX, VY] = -lam
+    B[SYY, VY] = -lp2m
+    B[SZZ, VY] = -lam
+    B[SXY, VX] = -mu
+    B[SYZ, VZ] = -mu
+    B[VX, SXY] = -irho
+    B[VY, SYY] = -irho
+    B[VZ, SYZ] = -irho
+
+    C[SXX, VZ] = -lam
+    C[SYY, VZ] = -lam
+    C[SZZ, VZ] = -lp2m
+    C[SYZ, VY] = -mu
+    C[SXZ, VX] = -mu
+    C[VX, SXZ] = -irho
+    C[VY, SYZ] = -irho
+    C[VZ, SZZ] = -irho
+    return A, B, C
+
+
+def jacobian_normal(mat: Material, n: np.ndarray) -> np.ndarray:
+    """``A_hat = nx*A + ny*B + nz*C`` for a unit normal ``n``."""
+    A, B, C = jacobians(mat)
+    n = np.asarray(n, dtype=float)
+    return n[0] * A + n[1] * B + n[2] * C

@@ -1,0 +1,230 @@
+"""Exact (Godunov) Riemann solvers and per-face flux matrices.
+
+Implements paper Sec. 4.2/4.3.  The Riemann problem at a face is solved in a
+face-aligned frame (local x axis along the outward normal of the "minus"
+element); the middle ("boundary") state ``w^b`` is a *linear* function of
+the rotated traces ``w^- = T^{-1} q^-`` and ``w^+ = T^{-1} q^+``:
+
+    ``w^b = G^- w^- + G^+ w^+``
+
+so the numerical flux (paper Eqs. 19-20) becomes
+
+    ``A_hat^- q* = F^- q^- + F^+ q^+``,
+    ``F^{-/+} = T A^-_loc G^{-/+} T^{-1}``
+
+with one pair of 9x9 matrices precomputed per face — the exact Riemann
+solver at the cost of two small GEMMs, as in SeisSol.
+
+Middle states implemented:
+
+* welded contact (elastic-elastic, possibly different materials):
+  continuity of traction and velocity;
+* elastic-acoustic interface: continuity of normal traction and normal
+  velocity, zero shear traction (Eqs. 17-18) — both sides use material
+  parameters of *both* sides, which is what makes the coupled scheme
+  consistent and convergent (Sec. 4.2);
+* traction-free surface;
+* gravitational free surface (linear part; the eta-dependent affine part of
+  Eq. 22 is applied by :mod:`repro.core.gravity`);
+* absorbing (outflow) boundary: positive flux part only.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+
+import numpy as np
+
+from .materials import NQ, SXX, SXY, SXZ, VX, VY, VZ, Material, jacobians
+from .rotation import state_rotation, state_rotation_inverse
+
+__all__ = [
+    "FaceKind",
+    "middle_state_matrices",
+    "free_surface_matrix",
+    "gravity_affine_vector",
+    "jacobian_positive_part",
+    "interior_flux_matrices",
+    "boundary_flux_matrix",
+]
+
+
+class FaceKind(Enum):
+    """Classification of mesh faces for flux purposes."""
+
+    INTERIOR = 0
+    FREE_SURFACE = 1
+    GRAVITY_FREE_SURFACE = 2
+    ABSORBING = 3
+    FAULT = 4
+    WALL = 5
+    PRESCRIBED_MOTION = 6
+
+
+def _couple_pair(Gm, Gp, i_sig, i_vel, Zm, Zp_):
+    """Fill the welded-contact middle state for one (stress, velocity) pair.
+
+    Solves the two-wave Riemann problem
+
+        ``sig^b = sig^- + Z^- a``, ``v^b = v^- + a`` (left-going wave)
+        ``sig^b = sig^+ + Z^+ b``, ``v^b = v^+ - b`` (right-going wave)
+
+    giving ``a = (sig^+ - sig^- + Z^+ (v^+ - v^-)) / (Z^- + Z^+)``.
+    """
+    den = Zm + Zp_
+    Gm[i_sig, i_sig] = Zp_ / den
+    Gp[i_sig, i_sig] = Zm / den
+    Gm[i_sig, i_vel] = -Zm * Zp_ / den
+    Gp[i_sig, i_vel] = Zm * Zp_ / den
+    Gm[i_vel, i_vel] = Zm / den
+    Gp[i_vel, i_vel] = Zp_ / den
+    Gm[i_vel, i_sig] = -1.0 / den
+    Gp[i_vel, i_sig] = 1.0 / den
+
+
+def middle_state_matrices(matm: Material, matp: Material) -> tuple[np.ndarray, np.ndarray]:
+    """Middle-state matrices (G^-, G^+) in the face-aligned frame.
+
+    Dispatches on the acoustic flags of the two sides.  Rows for components
+    that do not enter the flux (sigma_yy, sigma_zz, sigma_yz) simply copy the
+    minus trace — they are annihilated by ``A^-_loc`` anyway (cf. the remark
+    below paper Eq. 18).
+    """
+    Gm = np.eye(NQ)
+    Gp = np.zeros((NQ, NQ))
+
+    # normal (P) pair couples for every interface type
+    _couple_pair(Gm, Gp, SXX, VX, matm.Zp, matp.Zp)
+
+    shear_pairs = ((SXY, VY), (SXZ, VZ))
+    if not matm.is_acoustic and not matp.is_acoustic:
+        for i_sig, i_vel in shear_pairs:
+            _couple_pair(Gm, Gp, i_sig, i_vel, matm.Zs, matp.Zs)
+    elif not matm.is_acoustic and matp.is_acoustic:
+        # elastic side of an elastic-acoustic interface (paper Eq. 17):
+        # shear traction of the middle state vanishes; the tangential
+        # velocities are penalized by the tangential tractions.
+        Zs = matm.Zs
+        for i_sig, i_vel in shear_pairs:
+            Gm[i_sig, :] = 0.0
+            Gm[i_vel, i_sig] = -1.0 / Zs
+    else:
+        # acoustic minus side: A^-_loc has no shear columns, so only ensure
+        # the shear-traction rows of w^b vanish; tangential velocities are
+        # irrelevant to the flux.
+        for i_sig, _ in shear_pairs:
+            Gm[i_sig, :] = 0.0
+    return Gm, Gp
+
+
+def free_surface_matrix(mat: Material) -> np.ndarray:
+    """Middle state for a traction-free surface: ``w^b = G w^-``.
+
+    Traction components vanish; velocities take the one-sided characteristic
+    value (e.g. ``v_n^b = v_n^- - sigma_nn^- / Zp``).
+    """
+    G = np.eye(NQ)
+    G[SXX, :] = 0.0
+    G[VX, SXX] = -1.0 / mat.Zp
+    for i_sig, i_vel in ((SXY, VY), (SXZ, VZ)):
+        G[i_sig, :] = 0.0
+        if not mat.is_acoustic:
+            G[i_vel, i_sig] = -1.0 / mat.Zs
+    return G
+
+
+def wall_matrix(mat: Material) -> np.ndarray:
+    """Middle state for a free-slip rigid wall (mirror/symmetry plane).
+
+    Normal velocity vanishes (``v_n^b = 0``) with the normal traction taking
+    the characteristic value ``sigma_nn^b = sigma_nn^- - Zp v_n^-``; shear
+    tractions vanish (free slip).  Equivalent to a mirror-image ghost state.
+    Used for rigid seabeds in ocean-only tests and for symmetry planes.
+    """
+    G = np.eye(NQ)
+    G[VX, :] = 0.0
+    G[SXX, VX] = -mat.Zp
+    for i_sig, i_vel in ((SXY, VY), (SXZ, VZ)):
+        G[i_sig, :] = 0.0
+        if not mat.is_acoustic:
+            G[i_vel, i_sig] = -1.0 / mat.Zs
+    return G
+
+
+def gravity_affine_vector(mat: Material, g: float = 9.81) -> np.ndarray:
+    """Affine (eta-proportional) part of the gravity middle state (Eq. 22).
+
+    The full gravitational free-surface middle state is
+    ``w^b = G_fs w^- + c * eta`` with ``G_fs`` the traction-free matrix and
+    ``c`` this vector: ``sigma_nn^b`` gains ``-rho g eta`` (i.e.
+    ``p^b = rho g eta``) and ``v_n^b`` gains ``-(rho g / Zp) eta``.
+    """
+    c = np.zeros(NQ)
+    c[SXX] = -mat.rho * g
+    c[VX] = -mat.rho * g / mat.Zp
+    return c
+
+
+def jacobian_positive_part(mat: Material) -> np.ndarray:
+    """Positive part ``A^+_loc`` of the face-aligned Jacobian.
+
+    Built analytically from the outgoing (right-going) eigenpairs; used for
+    absorbing boundaries: the absorbing flux is ``T A^+_loc T^{-1} q^-``
+    (only outgoing characteristics leave, nothing comes back in).
+    """
+    lam, mu = mat.lam, mat.mu
+    lp2m = lam + 2.0 * mu
+    cp = mat.cp
+    Apos = np.zeros((NQ, NQ))
+    # P mode: right eigenvector and matching left eigenvector, speed +cp
+    r = np.zeros(NQ)
+    r[SXX], r[1], r[2], r[VX] = lp2m, lam, lam, -cp
+    left = np.zeros(NQ)
+    left[SXX], left[VX] = 1.0 / (2.0 * lp2m), -1.0 / (2.0 * cp)
+    Apos += cp * np.outer(r, left)
+    if mu > 0.0:
+        cs = mat.cs
+        for i_sig, i_vel in ((SXY, VY), (SXZ, VZ)):
+            r = np.zeros(NQ)
+            r[i_sig], r[i_vel] = mu, -cs
+            left = np.zeros(NQ)
+            left[i_sig], left[i_vel] = 1.0 / (2.0 * mu), -1.0 / (2.0 * cs)
+            Apos += cs * np.outer(r, left)
+    return Apos
+
+
+def interior_flux_matrices(
+    matm: Material, matp: Material, n: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """Per-face Godunov flux matrices (F^-, F^+) of paper Eq. (20).
+
+    ``n`` is the outward unit normal of the minus element.  The returned
+    matrices act on *global-frame* states:
+    ``A_hat^- q* = F^- q^- + F^+ q^+``.
+    """
+    T = state_rotation(n)
+    Tinv = state_rotation_inverse(n)
+    Aloc = jacobians(matm)[0]
+    Gm, Gp = middle_state_matrices(matm, matp)
+    Fm = T @ (Aloc @ Gm) @ Tinv
+    Fp = T @ (Aloc @ Gp) @ Tinv
+    return Fm, Fp
+
+
+def boundary_flux_matrix(mat: Material, n: np.ndarray, kind: FaceKind) -> np.ndarray:
+    """Flux matrix ``F^-`` for a boundary face (no plus-side state).
+
+    For ``GRAVITY_FREE_SURFACE`` this is only the linear-in-``w^-`` part;
+    the eta-dependent contribution is added by the gravity module.
+    """
+    T = state_rotation(n)
+    Tinv = state_rotation_inverse(n)
+    Aloc = jacobians(mat)[0]
+    if kind in (FaceKind.FREE_SURFACE, FaceKind.GRAVITY_FREE_SURFACE):
+        G = free_surface_matrix(mat)
+        return T @ (Aloc @ G) @ Tinv
+    if kind is FaceKind.WALL:
+        return T @ (Aloc @ wall_matrix(mat)) @ Tinv
+    if kind is FaceKind.ABSORBING:
+        return T @ jacobian_positive_part(mat) @ Tinv
+    raise ValueError(f"not a boundary kind: {kind}")

@@ -1,0 +1,133 @@
+"""Thread-pinning algorithm for hybrid MPI+OpenMP+pthreads (paper Sec. 5.2).
+
+SeisSol dedicates a POSIX communication thread per rank (for MPI
+progression) plus asynchronous-I/O threads; these must not share cores with
+OpenMP workers.  The paper's algorithm, reproduced here against an explicit
+node-topology model:
+
+1. worker threads are placed with ``OMP_PLACES=cores`` / close binding,
+   leaving one physical core per rank unused;
+2. each rank records the CPU mask of its workers; the masks are reduced
+   (union) across the node (``MPI_COMM_TYPE_SHARED`` split);
+3. free cores are the node's cores minus the union;
+4. via libnuma, the NUMA domains covered by each rank's workers are
+   computed, and the communication (and I/O) threads are pinned to free
+   *logical* cores inside those domains — NUMA-aware and disjoint from all
+   workers.  SMT is enabled (two hardware threads per core, Sec. 5.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["NodeTopology", "PinPlan", "pin_node"]
+
+
+@dataclass(frozen=True)
+class NodeTopology:
+    """Logical CPU layout of one node (linux-style numbering).
+
+    Physical cores are numbered ``0 .. n_cores-1`` contiguously by NUMA
+    domain; SMT siblings are ``n_cores .. 2*n_cores - 1``.
+    """
+
+    sockets: int = 2
+    numa_per_socket: int = 4
+    cores_per_numa: int = 16
+    smt: int = 2
+
+    @property
+    def n_numa(self) -> int:
+        return self.sockets * self.numa_per_socket
+
+    @property
+    def n_cores(self) -> int:
+        return self.n_numa * self.cores_per_numa
+
+    @property
+    def n_cpus(self) -> int:
+        return self.n_cores * self.smt
+
+    def numa_of_cpu(self, cpu: int) -> int:
+        return (cpu % self.n_cores) // self.cores_per_numa
+
+    def siblings(self, core: int) -> list[int]:
+        return [core + i * self.n_cores for i in range(self.smt)]
+
+
+@dataclass
+class PinPlan:
+    """Result of the pinning algorithm for one node."""
+
+    topology: NodeTopology
+    worker_cpus: list[np.ndarray]  # per rank, logical CPU ids
+    comm_cpu: list[int]  # per rank
+    io_cpu: list[int] = field(default_factory=list)
+
+    @property
+    def n_ranks(self) -> int:
+        return len(self.worker_cpus)
+
+    def all_worker_cpus(self) -> np.ndarray:
+        return np.concatenate(self.worker_cpus) if self.worker_cpus else np.empty(0, int)
+
+
+def pin_node(
+    topology: NodeTopology,
+    ranks_per_node: int,
+    pin_io: bool = False,
+) -> PinPlan:
+    """Execute the Sec. 5.2 pinning algorithm on a simulated node.
+
+    Raises if the requested rank count does not divide the core count or
+    leaves no room for the free core per rank.
+    """
+    topo = topology
+    if ranks_per_node < 1:
+        raise ValueError("need at least one rank per node")
+    if topo.n_cores % ranks_per_node != 0:
+        raise ValueError(
+            f"{ranks_per_node} ranks do not evenly divide {topo.n_cores} cores"
+        )
+    cores_per_rank = topo.n_cores // ranks_per_node
+    if cores_per_rank < 2:
+        raise ValueError("need >= 2 cores per rank (workers + free core)")
+
+    # step 1: workers with close binding, one physical core left free per
+    # rank (the paper: "set the number of OpenMP threads to leave one
+    # physical core per MPI rank unused"); SMT on -> both hyperthreads work
+    worker_cpus = []
+    used_mask = np.zeros(topo.n_cpus, dtype=bool)
+    for r in range(ranks_per_node):
+        first = r * cores_per_rank
+        cores = np.arange(first, first + cores_per_rank - 1)  # last core free
+        cpus = np.concatenate([cores + i * topo.n_cores for i in range(topo.smt)])
+        worker_cpus.append(np.sort(cpus))
+        used_mask[cpus] = True
+
+    # step 2+3: node-wide union (the MPI_COMM_TYPE_SHARED reduction) and
+    # free-core computation
+    free_cpus = np.flatnonzero(~used_mask)
+
+    # step 4: per rank, NUMA domains covered by its workers; pin the comm
+    # thread to a free logical CPU within those domains
+    comm_cpu = []
+    io_cpu = []
+    taken = set()
+    for r in range(ranks_per_node):
+        domains = {topo.numa_of_cpu(c) for c in worker_cpus[r]}
+        candidates = [c for c in free_cpus if topo.numa_of_cpu(c) in domains and c not in taken]
+        if not candidates:
+            raise RuntimeError(f"no free NUMA-local CPU for the comm thread of rank {r}")
+        comm_cpu.append(int(candidates[0]))
+        taken.add(candidates[0])
+        if pin_io:
+            io_candidates = [c for c in candidates[1:] if c not in taken]
+            if not io_candidates:
+                raise RuntimeError(f"no free NUMA-local CPU for the I/O thread of rank {r}")
+            io_cpu.append(int(io_candidates[0]))
+            taken.add(io_candidates[0])
+
+    return PinPlan(topology=topo, worker_cpus=worker_cpus, comm_cpu=comm_cpu, io_cpu=io_cpu)

@@ -1,0 +1,183 @@
+"""Strong-scaling simulator (paper Secs. 6.2/6.3, Fig. 6).
+
+This is the substitution for the petascale measurements: the simulator
+partitions a *real* (scaled-down) mesh — with the real LTS clustering and
+the real Eq. 28 weights — across ``n_nodes x ranks_per_node`` parts, and
+evaluates per-macro-step wall time from
+
+* per-part compute: LTS-weighted element updates x kernel FLOPs, executed
+  at the NUMA-aware node rate of :class:`~repro.hpc.perfmodel.NodePerformanceModel`
+  and the node's sampled speed;
+* per-part communication: cut faces weighted by their update rate, through
+  an alpha-beta network model with a topology penalty, partially hidden by
+  the dedicated communication thread.
+
+Efficiency loss with node count then *emerges* from partition imbalance
+(the mesh is fixed while parts multiply) and the rising communication to
+computation ratio, exactly the mechanisms behind Fig. 6; the effect of
+ranks-per-node emerges from the NUMA model vs. the extra partitions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.basis import basis_size
+from .machine import Machine
+from .partition import comm_volume, eq28_vertex_weights, imbalance, partition_geometric
+from .perfmodel import NodePerformanceModel
+
+__all__ = ["ScalingResult", "StrongScalingModel"]
+
+_DP = 8
+
+
+@dataclass
+class ScalingResult:
+    n_nodes: int
+    ranks_per_node: int
+    time_per_macro_step: float
+    gflops_per_node: float
+    total_pflops: float
+    parallel_efficiency: float  # vs the smallest node count of a series
+    imbalance: float
+    comm_fraction: float
+
+
+class StrongScalingModel:
+    """Drive one mesh across node counts on one machine."""
+
+    def __init__(
+        self,
+        mesh,
+        cluster: np.ndarray,
+        order: int,
+        machine: Machine,
+        rate: int = 2,
+        w_dr: int = 200,
+        w_g: int = 300,
+        comm_overlap: float = 0.7,
+        sync_slack: float = 0.6,
+        seed: int = 1234,
+    ):
+        """``sync_slack`` interpolates each cluster substep between the
+        mean part time (0: fully asynchronous, dependencies never bind) and
+        the slowest part (1: global barrier).  SeisSol's clustered LTS has
+        only *neighbor* dependencies, so load imbalance propagates with
+        slack rather than gating every substep globally."""
+        self.mesh = mesh
+        self.cluster = cluster
+        self.order = order
+        self.machine = machine
+        self.rate = rate
+        self.comm_overlap = comm_overlap
+        self.sync_slack = sync_slack
+        self.rng = np.random.default_rng(seed)
+        self.perf = NodePerformanceModel(machine.node, order=order)
+
+        self.weights = eq28_vertex_weights(mesh, cluster, w_dr=w_dr, w_g=w_g, rate=rate)
+        cmax = int(cluster.max())
+        #: element updates per macro step (the LTS update rate)
+        self.updates = rate ** (cmax - cluster).astype(float)
+        self.flops_per_update = self.perf.counts.flops_total
+        self.edges = mesh.dual_graph_edges()
+        # per-face message rate: a face is exchanged at the faster side's
+        # cadence
+        cm = cluster[self.edges[:, 0]]
+        cp = cluster[self.edges[:, 1]]
+        self.edge_updates = rate ** (cmax - np.minimum(cm, cp)).astype(float)
+        #: time-integrated face payload: B x 9 doubles
+        self.face_bytes = basis_size(order) * 9 * _DP
+        self.total_flops_per_macro = float((self.updates * self.flops_per_update).sum())
+
+    # ------------------------------------------------------------------
+    def simulate(
+        self,
+        n_nodes: int,
+        ranks_per_node: int = 1,
+        use_node_weights: bool = True,
+        baseline_time: float | None = None,
+        force_straggler: bool = False,
+    ) -> ScalingResult:
+        mesh = self.mesh
+        n_parts = n_nodes * ranks_per_node
+        if n_parts > mesh.n_elements:
+            raise ValueError("more partitions than elements")
+
+        speeds = self.machine.sample_node_speeds(n_nodes, self.rng, force_straggler)
+        rank_speeds = np.repeat(speeds, ranks_per_node)
+        if use_node_weights:
+            tpwgts = rank_speeds / rank_speeds.sum()
+        else:
+            tpwgts = np.full(n_parts, 1.0 / n_parts)
+
+        parts = partition_geometric(mesh.centroids, self.weights.astype(float), n_parts, tpwgts)
+
+        # LTS time marching is bulk-synchronous *per cluster*: cluster c
+        # executes 2^(cmax - c) substeps per macro step, and each substep is
+        # gated by the slowest part for that cluster — the partitioner only
+        # balances the aggregate weight, so per-cluster imbalance (plus the
+        # per-substep neighbor exchange of that cluster) is where efficiency
+        # goes to die at scale (paper Sec. 6.3).
+        cmax = int(self.cluster.max())
+        n_cl = cmax + 1
+        node_rate = self.perf.full_gflops(ranks_per_node=ranks_per_node) * 1e9
+        rank_rate = node_rate / ranks_per_node * rank_speeds
+
+        flops_pc = np.zeros((n_parts, n_cl))
+        np.add.at(
+            flops_pc,
+            (parts, self.cluster),
+            np.full(mesh.n_elements, self.flops_per_update),
+        )
+
+        net = self.machine.network
+        bw = net.bandwidth_gbs * 1e9 / ranks_per_node
+        penalty = net.penalty(n_nodes)
+        # per-cluster cut volume: a face participates in the substeps of the
+        # finer of its two clusters
+        cut = parts[self.edges[:, 0]] != parts[self.edges[:, 1]]
+        edge_cl = np.minimum(self.cluster[self.edges[:, 0]], self.cluster[self.edges[:, 1]])
+        vol_pc = np.zeros((n_parts, n_cl))
+        np.add.at(vol_pc, (parts[self.edges[cut, 0]], edge_cl[cut]), self.face_bytes)
+        np.add.at(vol_pc, (parts[self.edges[cut, 1]], edge_cl[cut]), self.face_bytes)
+
+        t_macro = 0.0
+        t_comm_total = 0.0
+        for c in range(n_cl):
+            substeps = self.rate ** (cmax - c)
+            t_comp_c = flops_pc[:, c] / rank_rate
+            has_comm = vol_pc[:, c] > 0
+            t_comm_raw = (vol_pc[:, c] / bw + net.latency_us * 1e-6 * has_comm) * penalty
+            t_comm_c = np.maximum(t_comm_raw - self.comm_overlap * t_comp_c, 0.0)
+            tot = t_comp_c + t_comm_c
+            step_t = float(tot.mean() + self.sync_slack * (tot.max() - tot.mean()))
+            t_macro += substeps * step_t
+            t_comm_total += substeps * float(t_comm_c.mean() + self.sync_slack * (t_comm_c.max() - t_comm_c.mean()))
+
+        gflops_node = self.total_flops_per_macro / t_macro / n_nodes / 1e9
+        eff = 1.0 if baseline_time is None else baseline_time / (t_macro * n_nodes)
+        return ScalingResult(
+            n_nodes=n_nodes,
+            ranks_per_node=ranks_per_node,
+            time_per_macro_step=t_macro,
+            gflops_per_node=gflops_node,
+            total_pflops=gflops_node * n_nodes / 1e6,
+            parallel_efficiency=eff,
+            imbalance=imbalance(parts, self.updates * self.flops_per_update, tpwgts),
+            comm_fraction=t_comm_total / max(t_macro, 1e-300),
+        )
+
+    def sweep(self, node_counts, ranks_per_node: int = 1, use_node_weights: bool = True):
+        """Strong-scaling series; efficiency is relative to the first entry."""
+        results = []
+        base = None
+        for n in node_counts:
+            r = self.simulate(n, ranks_per_node, use_node_weights)
+            if base is None:
+                base = r.time_per_macro_step * r.n_nodes
+            r.parallel_efficiency = base / (r.time_per_macro_step * r.n_nodes)
+            results.append(r)
+        return results

@@ -1,0 +1,11 @@
+"""Lightweight output: VTK meshes/fields for ParaView, receiver archives."""
+
+from .vtk import write_vtk_surface, write_vtk_unstructured
+from .receivers import load_receivers, save_receivers
+
+__all__ = [
+    "write_vtk_unstructured",
+    "write_vtk_surface",
+    "save_receivers",
+    "load_receivers",
+]

@@ -1,0 +1,41 @@
+"""Receiver archive I/O: save/load recorded seismograms as ``.npz``.
+
+The paper's production runs write receivers every 0.01 s (Sec. 6.2); this
+is the reproduction's archival format for the same data.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["save_receivers", "load_receivers"]
+
+
+def save_receivers(path: str, receivers, metadata: dict | None = None) -> None:
+    """Persist a :class:`~repro.analysis.receivers.ReceiverArray`."""
+    if len(receivers.times) == 0:
+        raise ValueError("no samples recorded")
+    meta_keys = []
+    meta_vals = []
+    for k, v in (metadata or {}).items():
+        meta_keys.append(str(k))
+        meta_vals.append(str(v))
+    np.savez_compressed(
+        path,
+        times=np.asarray(receivers.times),
+        samples=np.asarray(receivers.samples),
+        positions=receivers.positions,
+        meta_keys=np.asarray(meta_keys),
+        meta_vals=np.asarray(meta_vals),
+    )
+
+
+def load_receivers(path: str):
+    """Load an archive: returns ``(times, samples, positions, metadata)``.
+
+    ``samples`` has shape ``(nt, nreceivers, 9)`` in the standard quantity
+    ordering (sxx, syy, szz, sxy, syz, sxz, vx, vy, vz).
+    """
+    with np.load(path, allow_pickle=False) as d:
+        meta = dict(zip(d["meta_keys"].tolist(), d["meta_vals"].tolist()))
+        return d["times"], d["samples"], d["positions"], meta

@@ -1,0 +1,130 @@
+"""Legacy-VTK writers (ASCII, ParaView-compatible, dependency-free).
+
+SeisSol writes XDMF/HDF5 wavefield and free-surface output (Sec. 5.2
+mentions the asynchronous-I/O threads that feed it); this module provides
+the equivalent capability at reproduction scale: tetrahedral volume fields
+and sea-surface point clouds as legacy ``.vtk`` files.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["write_vtk_unstructured", "write_vtk_surface"]
+
+_TET_CELL_TYPE = 10  # VTK_TETRA
+_VERTEX_CELL_TYPE = 1  # VTK_VERTEX
+
+
+def _write_header(f, title: str):
+    f.write("# vtk DataFile Version 3.0\n")
+    f.write(title[:255] + "\n")
+    f.write("ASCII\n")
+    f.write("DATASET UNSTRUCTURED_GRID\n")
+
+
+def _write_array(f, arr):
+    np.savetxt(f, np.atleast_2d(arr), fmt="%.9g")
+
+
+def write_vtk_unstructured(
+    path: str,
+    mesh,
+    cell_data: dict[str, np.ndarray] | None = None,
+    point_data: dict[str, np.ndarray] | None = None,
+    title: str = "repro tetrahedral mesh",
+) -> None:
+    """Write a :class:`~repro.mesh.tetmesh.TetMesh` with per-cell fields.
+
+    ``cell_data`` values must have shape ``(n_elements,)`` or
+    ``(n_elements, 3)``; ``point_data`` analogously per vertex.
+    """
+    cell_data = cell_data or {}
+    point_data = point_data or {}
+    ne = mesh.n_elements
+    nv = mesh.n_vertices
+    for name, arr in cell_data.items():
+        if len(arr) != ne:
+            raise ValueError(f"cell field {name!r} has wrong length")
+    for name, arr in point_data.items():
+        if len(arr) != nv:
+            raise ValueError(f"point field {name!r} has wrong length")
+
+    with open(path, "w") as f:
+        _write_header(f, title)
+        f.write(f"POINTS {nv} double\n")
+        _write_array(f, mesh.vertices)
+        f.write(f"CELLS {ne} {ne * 5}\n")
+        cells = np.column_stack([np.full(ne, 4, dtype=np.int64), mesh.tets])
+        np.savetxt(f, cells, fmt="%d")
+        f.write(f"CELL_TYPES {ne}\n")
+        np.savetxt(f, np.full(ne, _TET_CELL_TYPE, dtype=np.int64), fmt="%d")
+
+        if cell_data:
+            f.write(f"CELL_DATA {ne}\n")
+            for name, arr in cell_data.items():
+                arr = np.asarray(arr, dtype=float)
+                if arr.ndim == 1:
+                    f.write(f"SCALARS {name} double 1\nLOOKUP_TABLE default\n")
+                    _write_array(f, arr[:, None])
+                elif arr.ndim == 2 and arr.shape[1] == 3:
+                    f.write(f"VECTORS {name} double\n")
+                    _write_array(f, arr)
+                else:
+                    raise ValueError(f"cell field {name!r}: unsupported shape {arr.shape}")
+        if point_data:
+            f.write(f"POINT_DATA {nv}\n")
+            for name, arr in point_data.items():
+                arr = np.asarray(arr, dtype=float)
+                if arr.ndim == 1:
+                    f.write(f"SCALARS {name} double 1\nLOOKUP_TABLE default\n")
+                    _write_array(f, arr[:, None])
+                elif arr.ndim == 2 and arr.shape[1] == 3:
+                    f.write(f"VECTORS {name} double\n")
+                    _write_array(f, arr)
+                else:
+                    raise ValueError(f"point field {name!r}: unsupported shape {arr.shape}")
+
+
+def write_vtk_surface(
+    path: str,
+    points: np.ndarray,
+    fields: dict[str, np.ndarray] | None = None,
+    title: str = "repro sea surface",
+) -> None:
+    """Write a point cloud (e.g. gravity-face quadrature points + eta).
+
+    Typical use::
+
+        g = solver.gravity
+        write_vtk_surface("surface.vtk", g.points.reshape(-1, 3),
+                          {"eta": g.eta.reshape(-1)})
+    """
+    points = np.asarray(points, dtype=float).reshape(-1, 3)
+    fields = fields or {}
+    n = len(points)
+    for name, arr in fields.items():
+        if len(np.asarray(arr).reshape(n, -1)) != n:
+            raise ValueError(f"field {name!r} has wrong length")
+
+    with open(path, "w") as f:
+        _write_header(f, title)
+        f.write(f"POINTS {n} double\n")
+        _write_array(f, points)
+        f.write(f"CELLS {n} {n * 2}\n")
+        cells = np.column_stack([np.ones(n, dtype=np.int64), np.arange(n, dtype=np.int64)])
+        np.savetxt(f, cells, fmt="%d")
+        f.write(f"CELL_TYPES {n}\n")
+        np.savetxt(f, np.full(n, _VERTEX_CELL_TYPE, dtype=np.int64), fmt="%d")
+        if fields:
+            f.write(f"POINT_DATA {n}\n")
+            for name, arr in fields.items():
+                arr = np.asarray(arr, dtype=float).reshape(n, -1)
+                if arr.shape[1] == 1:
+                    f.write(f"SCALARS {name} double 1\nLOOKUP_TABLE default\n")
+                    _write_array(f, arr)
+                elif arr.shape[1] == 3:
+                    f.write(f"VECTORS {name} double\n")
+                    _write_array(f, arr)
+                else:
+                    raise ValueError(f"field {name!r}: unsupported shape {arr.shape}")

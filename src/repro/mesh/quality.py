@@ -1,0 +1,95 @@
+"""Mesh quality metrics and statistics.
+
+Production meshes of the paper's kind (518M elements over real bathymetry)
+live or die by element quality: sliver tets destroy the CFL timestep (they
+end up dictating dt_min and the LTS cluster structure, cf. Fig. 4).  These
+diagnostics quantify that before a run is attempted.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["MeshQuality", "assess", "timestep_report"]
+
+
+@dataclass(frozen=True)
+class MeshQuality:
+    """Summary statistics of a tetrahedral mesh."""
+
+    n_elements: int
+    n_vertices: int
+    volume_total: float
+    volume_min: float
+    edge_min: float
+    edge_max: float
+    #: radius-ratio quality 3 r_in / r_circ in (0, 1]; 1 = regular tet
+    radius_ratio_min: float
+    radius_ratio_mean: float
+    insphere_min: float
+    insphere_max: float
+
+    @property
+    def worst_is_sliver(self) -> bool:
+        return self.radius_ratio_min < 0.05
+
+
+def _circumradius(v: np.ndarray) -> np.ndarray:
+    """Circumradius of tets given vertex array ``(ne, 4, 3)``."""
+    a = v[:, 1] - v[:, 0]
+    b = v[:, 2] - v[:, 0]
+    c = v[:, 3] - v[:, 0]
+    # circumcenter from |x - v0|^2 = |x - vi|^2
+    A = np.stack([a, b, c], axis=1)  # (ne, 3, 3)
+    rhs = 0.5 * np.stack(
+        [(a * a).sum(1), (b * b).sum(1), (c * c).sum(1)], axis=1
+    )
+    x = np.linalg.solve(A, rhs[:, :, None])[:, :, 0]
+    return np.linalg.norm(x, axis=1)
+
+
+def assess(mesh) -> MeshQuality:
+    """Compute quality statistics of a :class:`~repro.mesh.tetmesh.TetMesh`."""
+    v = mesh.vertices[mesh.tets]
+    pairs = [(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)]
+    edges = np.stack([np.linalg.norm(v[:, i] - v[:, j], axis=1) for i, j in pairs], axis=1)
+    r_in = mesh.insphere_diameter / 2.0
+    r_circ = _circumradius(v)
+    ratio = 3.0 * r_in / r_circ
+    return MeshQuality(
+        n_elements=mesh.n_elements,
+        n_vertices=mesh.n_vertices,
+        volume_total=float(mesh.volumes.sum()),
+        volume_min=float(mesh.volumes.min()),
+        edge_min=float(edges.min()),
+        edge_max=float(edges.max()),
+        radius_ratio_min=float(ratio.min()),
+        radius_ratio_mean=float(ratio.mean()),
+        insphere_min=float(mesh.insphere_diameter.min()),
+        insphere_max=float(mesh.insphere_diameter.max()),
+    )
+
+
+def timestep_report(mesh, order: int, rate: int = 2) -> str:
+    """Human-readable dt / LTS structure report for a mesh.
+
+    Combines the CFL distribution with the would-be LTS clustering — the
+    pre-flight check for the Fig. 4 structure.
+    """
+    from ..core.cfl import element_timesteps
+    from ..core.lts import cluster_elements, lts_statistics
+
+    dts = element_timesteps(mesh, order)
+    cluster, dt_min = cluster_elements(mesh, order, rate=rate)
+    st = lts_statistics(cluster, rate)
+    lines = [
+        f"elements: {mesh.n_elements}, order {order}",
+        f"dt: min {dts.min():.3e}  median {np.median(dts):.3e}  max {dts.max():.3e}"
+        f"  (span {dts.max() / dts.min():.1f}x)",
+        f"LTS clusters ({rate}-rate): "
+        + ", ".join(f"{f}dt x {n}" for f, n in zip(st["dt_factors"], st["counts"])),
+        f"LTS update reduction vs GTS: {st['speedup']:.2f}x",
+    ]
+    return "\n".join(lines)

@@ -1,0 +1,97 @@
+"""1D grading / spacing utilities for statically adapted meshes.
+
+The paper's meshes are unstructured with strong static adaptivity (200 m at
+the faults, 50 m in the water layer, 5000 m far field).  We reproduce the
+*sizing* behaviour with graded structured-to-tet meshes: these helpers build
+monotone coordinate arrays whose local spacing follows a target size field,
+which is what drives the wide LTS timestep distribution of Fig. 4.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["uniform_spacing", "geometric_spacing", "refined_spacing"]
+
+
+def uniform_spacing(lo: float, hi: float, n: int) -> np.ndarray:
+    """``n`` cells between ``lo`` and ``hi`` (n+1 coordinates)."""
+    if hi <= lo:
+        raise ValueError("hi must exceed lo")
+    if n < 1:
+        raise ValueError("need at least one cell")
+    return np.linspace(lo, hi, n + 1)
+
+
+def geometric_spacing(lo: float, hi: float, h0: float, ratio: float) -> np.ndarray:
+    """Cells growing geometrically from size ``h0`` at ``lo`` by ``ratio``.
+
+    The last cell is stretched to land exactly on ``hi``.
+    """
+    if hi <= lo:
+        raise ValueError("hi must exceed lo")
+    if h0 <= 0 or ratio < 1.0:
+        raise ValueError("h0 must be positive and ratio >= 1")
+    xs = [lo]
+    h = h0
+    while xs[-1] + h < hi - 1e-12 * (hi - lo):
+        xs.append(xs[-1] + h)
+        h *= ratio
+    xs.append(hi)
+    # avoid a final sliver shorter than half the previous cell
+    if len(xs) >= 3 and (xs[-1] - xs[-2]) < 0.5 * (xs[-2] - xs[-3]):
+        xs.pop(-2)
+    return np.asarray(xs)
+
+
+def refined_spacing(
+    lo: float,
+    hi: float,
+    h_coarse: float,
+    h_fine: float,
+    fine_lo: float,
+    fine_hi: float,
+    ratio: float = 1.5,
+) -> np.ndarray:
+    """Coordinates refined to ``h_fine`` inside ``[fine_lo, fine_hi]``.
+
+    Outside the refinement window, spacing grows geometrically by ``ratio``
+    up to ``h_coarse`` — the 1D analogue of the paper's refinement cuboid
+    (Sec. 6.2: 'a maximum global element size of 5000 m and refine the
+    resolution in the water layer and in our region of interest').
+    """
+    if not (lo <= fine_lo < fine_hi <= hi):
+        raise ValueError("refinement window must lie inside the domain")
+    if h_fine <= 0 or h_coarse < h_fine:
+        raise ValueError("need 0 < h_fine <= h_coarse")
+
+    # fine region: uniform at h_fine
+    n_fine = max(1, int(round((fine_hi - fine_lo) / h_fine)))
+    mid = np.linspace(fine_lo, fine_hi, n_fine + 1)
+
+    def grade(outer: float, inner: float, left: bool) -> np.ndarray:
+        span = abs(inner - outer)
+        if span < 1e-12 * max(abs(hi - lo), 1.0):
+            return np.empty(0)
+        sizes = []
+        h = h_fine
+        total = 0.0
+        while total < span:
+            h = min(h * ratio, h_coarse)
+            sizes.append(h)
+            total += h
+        # rescale to fit exactly
+        sizes = np.asarray(sizes) * span / total
+        offs = np.cumsum(sizes)[:-1]
+        pts = inner - offs if left else inner + offs
+        return pts[::-1] if left else pts
+
+    left = grade(lo, fine_lo, left=True)
+    right = grade(hi, fine_hi, left=False)
+    xs = np.concatenate([[lo], left, mid, right, [hi]]) if (lo < fine_lo or fine_hi < hi) else mid
+    xs = np.unique(np.clip(xs, lo, hi))
+    # merge near-duplicate coordinates (they would create sliver cells)
+    keep = np.concatenate([[True], np.diff(xs) > 1e-6 * (hi - lo)])
+    xs = xs[keep]
+    xs[-1] = hi
+    return xs

@@ -1,0 +1,37 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.materials import acoustic, elastic
+
+
+@pytest.fixture
+def rock():
+    """Generic crustal rock (cp=6000, cs=3464, rho=2700)."""
+    return elastic(2700.0, 6000.0, 3464.0)
+
+
+@pytest.fixture
+def water():
+    """Standard ocean water (c=1500, rho=1000)."""
+    return acoustic(1000.0, 1500.0)
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(12345)
+
+
+def l2_error(solver, exact_fn, t):
+    """Global L2 error of a CoupledSolver state against ``exact_fn(x, t)``."""
+    ref = solver.op.ref
+    mesh = solver.mesh
+    pts = mesh.map_points(np.arange(mesh.n_elements), ref.vol_points)
+    num = np.einsum("qb,ebn->eqn", ref.V, solver.Q)
+    ex = exact_fn(pts.reshape(-1, 3), t).reshape(num.shape)
+    return float(
+        np.sqrt(np.einsum("e,q,eqn->", mesh.det_jac, ref.vol_weights, (num - ex) ** 2))
+    )

@@ -1,0 +1,141 @@
+"""Tests for receivers, spectra and field sampling."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.receivers import QUANTITY_NAMES, ReceiverArray
+from repro.analysis.spectra import (
+    amplitude_spectrum,
+    dominant_frequency,
+    max_excited_frequency,
+    resolved_frequency,
+)
+from repro.core.materials import elastic
+from repro.core.solver import CoupledSolver
+from repro.mesh.generators import box_mesh
+
+ROCK1 = elastic(1.0, 2.0, 1.0)
+
+
+def small_solver():
+    xs = np.linspace(0, 1, 4)
+    m = box_mesh(xs, xs, xs, [ROCK1])
+    for vec in np.eye(3):
+        m.glue_periodic(vec * 1.0)
+    return CoupledSolver(m, order=2)
+
+
+class TestReceivers:
+    def test_records_exact_plane_wave(self):
+        s = small_solver()
+        k = 2 * np.pi
+        cp = ROCK1.cp
+        r = np.array([ROCK1.lam + 2 * ROCK1.mu, ROCK1.lam, ROCK1.lam, 0, 0, 0, -cp, 0, 0])
+        s.set_initial_condition(lambda x: r[None, :] * np.sin(k * x[:, 0])[:, None])
+        rec = ReceiverArray(s, np.array([[0.25, 0.5, 0.5], [0.75, 0.5, 0.5]]))
+        rec.record()
+        vals = rec.data("vx")
+        assert np.allclose(vals[0], -cp * np.sin(k * np.array([0.25, 0.75])), atol=0.05)
+
+    def test_callback_subsampling(self):
+        s = small_solver()
+        s.set_initial_condition(lambda x: np.zeros((len(x), 9)))
+        rec = ReceiverArray(s, np.array([[0.5, 0.5, 0.5]]), every=3)
+        for _ in range(9):
+            s.step()
+            rec(s)
+        assert len(rec.times) == 3
+
+    def test_rejects_outside_point(self):
+        s = small_solver()
+        with pytest.raises(ValueError):
+            ReceiverArray(s, np.array([[5.0, 0.0, 0.0]]))
+
+    def test_pressure_helper(self):
+        s = small_solver()
+        s.set_initial_condition(
+            lambda x: np.tile(np.array([-3.0, -3.0, -3.0, 0, 0, 0, 0, 0, 0]), (len(x), 1))
+        )
+        rec = ReceiverArray(s, np.array([[0.5, 0.5, 0.5]]))
+        rec.record()
+        assert np.isclose(rec.pressure()[0, 0], 3.0, atol=1e-9)
+
+    def test_quantity_names(self):
+        assert len(QUANTITY_NAMES) == 9
+        assert QUANTITY_NAMES[8] == "vz"
+
+
+class TestSpectra:
+    def test_pure_tone(self):
+        t = np.linspace(0, 10, 2001)
+        x = 2.5 * np.sin(2 * np.pi * 3.0 * t)
+        f, a = amplitude_spectrum(t, x)
+        assert np.isclose(dominant_frequency(t, x), 3.0, atol=0.06)
+        assert np.isclose(a.max(), 2.5, rtol=0.02)
+
+    def test_two_tones_max_excited(self):
+        t = np.linspace(0, 20, 8001)
+        x = np.sin(2 * np.pi * 1.0 * t) + 0.3 * np.sin(2 * np.pi * 12.0 * t)
+        assert np.isclose(max_excited_frequency(t, x, threshold=0.1), 12.0, atol=0.2)
+        assert np.isclose(dominant_frequency(t, x), 1.0, atol=0.1)
+
+    def test_nonuniform_sampling_resampled(self):
+        rng = np.random.default_rng(0)
+        t = np.sort(rng.uniform(0, 10, 600))
+        x = np.sin(2 * np.pi * 2.0 * t)
+        assert np.isclose(dominant_frequency(t, x), 2.0, atol=0.2)
+
+    def test_resolved_frequency_paper_rule(self):
+        """Sec. 6.2: 50 m elements at c = 1483 m/s with 2 elements per
+        wavelength resolve ~15 Hz."""
+        f = resolved_frequency(50.0, 1483.0, order=5)
+        assert np.isclose(f, 14.83, atol=0.01)
+
+    def test_rejects_short_series(self):
+        with pytest.raises(ValueError):
+            amplitude_spectrum(np.array([0.0, 1.0]), np.array([1.0, 2.0]))
+
+
+class TestFields:
+    def test_cross_section_linear_field(self):
+        from repro.analysis.fields import cross_section
+
+        s = small_solver()
+
+        def ic(x):
+            out = np.zeros((len(x), 9))
+            out[:, 8] = 2.0 * x[:, 0]
+            return out
+
+        s.set_initial_condition(ic)
+        dist, vals = cross_section(s, [0.1, 0.5, 0.5], [0.9, 0.5, 0.5], 9, quantity=8)
+        assert np.allclose(vals, 2.0 * np.linspace(0.1, 0.9, 9), atol=1e-9)
+        assert np.isclose(dist[-1], 0.8)
+
+    def test_sea_surface_grid(self):
+        from repro.analysis.fields import sea_surface_grid
+        from repro.core.materials import acoustic
+        from repro.core.riemann import FaceKind
+
+        oc = acoustic(1000.0, 100.0)
+        xs = np.linspace(0, 8, 9)
+        m = box_mesh(xs, xs, np.linspace(-1, 0, 2), [oc])
+
+        def tagger(cent, nrm):
+            tags = np.full(len(cent), FaceKind.WALL.value)
+            tags[nrm[:, 2] > 0.99] = FaceKind.GRAVITY_FREE_SURFACE.value
+            return tags
+
+        m.tag_boundary(tagger)
+        s = CoupledSolver(m, order=2)
+        s.gravity.eta[:] = np.sin(2 * np.pi * s.gravity.points[:, :, 0] / 8.0)
+        X, Y, eta = sea_surface_grid(s, np.linspace(0, 8, 17), np.linspace(0, 8, 17))
+        assert eta.shape == (16, 16)
+        assert np.allclose(eta, np.sin(2 * np.pi * X / 8.0), atol=0.1)
+
+    def test_requires_gravity_faces(self):
+        from repro.analysis.fields import sea_surface_grid
+
+        s = small_solver()
+        with pytest.raises(ValueError):
+            sea_surface_grid(s, np.linspace(0, 1, 3), np.linspace(0, 1, 3))

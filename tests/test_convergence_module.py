@@ -1,0 +1,98 @@
+"""Tests for the verification-scenario builders (repro.scenarios.convergence)."""
+
+import numpy as np
+import pytest
+
+from repro.core.materials import acoustic, elastic
+from repro.scenarios.convergence import (
+    CoupledModeSetup,
+    coupled_mode_frequency,
+    l2_error,
+    periodic_box_solver,
+    plane_wave,
+)
+
+
+class TestPlaneWave:
+    def test_p_wave_speed(self):
+        mat = elastic(1.0, 2.0, 1.0)
+        exact, c = plane_wave(mat, "P")
+        assert c == mat.cp
+
+    def test_s_wave_rejected_for_acoustic(self):
+        with pytest.raises(ValueError):
+            plane_wave(acoustic(1.0, 1.0), "S")
+
+    def test_unknown_wave_rejected(self):
+        with pytest.raises(ValueError):
+            plane_wave(elastic(1.0, 2.0, 1.0), "R")
+
+    def test_exact_is_eigenmode(self):
+        """The plane-wave field must satisfy q_t = -(A q_x) exactly."""
+        from repro.core.materials import jacobians
+
+        mat = elastic(1.0, 2.0, 1.0)
+        exact, c = plane_wave(mat, "S")
+        A = jacobians(mat)[0]
+        x = np.array([[0.3, 0.1, 0.9]])
+        h = 1e-6
+        dqdt = (exact(x, h) - exact(x, -h)) / (2 * h)
+        dqdx = (exact(x + [[h, 0, 0]], 0.0) - exact(x - [[h, 0, 0]], 0.0)) / (2 * h)
+        assert np.allclose(dqdt, -dqdx @ A.T, atol=1e-4)
+
+
+class TestCoupledMode:
+    def test_frequency_solves_dispersion(self):
+        earth = elastic(2.5, 4.0, 2.0)
+        ocean = acoustic(1.0, 1.5)
+        h_e, h_o = 2.0, 1.0
+        w = coupled_mode_frequency(h_e, h_o, earth, ocean)
+        lhs = ocean.Zp * np.tan(w * h_o / ocean.cp) * np.tan(w * h_e / earth.cp)
+        assert np.isclose(lhs, earth.Zp, rtol=1e-10)
+        assert w > 0
+
+    def test_exact_satisfies_interface_conditions(self):
+        setup = CoupledModeSetup()
+        zi = -setup.h_o
+        eps = 1e-8
+        above = setup.exact(np.array([[0.0, 0.0, zi + eps]]), 0.3)
+        below = setup.exact(np.array([[0.0, 0.0, zi - eps]]), 0.3)
+        # continuity of szz (normal traction) and vz across the interface
+        assert np.isclose(above[0, 2], below[0, 2], rtol=1e-5)
+        assert np.isclose(above[0, 8], below[0, 8], rtol=1e-5, atol=1e-12)
+
+    def test_exact_boundary_conditions(self):
+        setup = CoupledModeSetup()
+        # pressure-free at the top
+        top = setup.exact(np.array([[0.0, 0.0, 0.0]]), 0.2)
+        assert abs(top[0, 2]) < 1e-12
+        # wall (u = 0 -> v = 0) at the bottom
+        bot = setup.exact(np.array([[0.0, 0.0, -(setup.h_e + setup.h_o)]]), 0.2)
+        assert abs(bot[0, 8]) < 1e-12
+
+    def test_simulation_tracks_mode(self):
+        """Quarter-period evolution matches the exact standing mode."""
+        setup = CoupledModeSetup()
+        s = setup.build_solver(n_z_per_layer=3, order=3)
+        T = 2 * np.pi / setup.omega
+        t_end = 0.25 * T
+        n = int(np.ceil(t_end / s.dt))
+        for _ in range(n):
+            s.step(t_end / n)
+        ref = l2_error(s, lambda x, t: np.zeros((len(x), 9)), 0.0)
+        assert l2_error(s, setup.exact, s.t) < 5e-4 * ref
+
+
+class TestHelpers:
+    def test_periodic_box_has_no_boundary(self):
+        s = periodic_box_solver(elastic(1.0, 2.0, 1.0), 3, 1)
+        assert len(s.mesh.boundary) == 0
+
+    def test_l2_error_zero_for_projection(self):
+        mat = elastic(1.0, 2.0, 1.0)
+        s = periodic_box_solver(mat, 3, 2)
+        exact, _ = plane_wave(mat, "P")
+        s.set_initial_condition(lambda x: exact(x, 0.0))
+        e = l2_error(s, exact, 0.0)
+        ref = l2_error(s, lambda x, t: np.zeros((len(x), 9)), 0.0)
+        assert e < 0.05 * ref

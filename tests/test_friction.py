@@ -1,0 +1,133 @@
+"""Unit and property tests for the fault friction laws."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.rupture.friction import LinearSlipWeakening, RateStateFastVelocityWeakening
+
+
+class TestLinearSlipWeakening:
+    def test_coefficient_endpoints(self):
+        fr = LinearSlipWeakening(mu_s=0.6, mu_d=0.3, d_c=0.5)
+        assert np.isclose(fr.coefficient(np.array([0.0]))[0], 0.6)
+        assert np.isclose(fr.coefficient(np.array([0.5]))[0], 0.3)
+        assert np.isclose(fr.coefficient(np.array([5.0]))[0], 0.3)  # saturates
+
+    def test_locked_below_strength(self):
+        fr = LinearSlipWeakening(mu_s=0.6, mu_d=0.3, d_c=0.5)
+        V, tau = fr.solve(np.array([50e6]), np.array([120e6]), np.array([0.0]), np.array([4e6]))
+        assert V[0] == 0.0
+        assert np.isclose(tau[0], 50e6)
+
+    def test_slipping_above_strength(self):
+        fr = LinearSlipWeakening(mu_s=0.6, mu_d=0.3, d_c=0.5)
+        eta = 4.6e6
+        V, tau = fr.solve(np.array([80e6]), np.array([120e6]), np.array([0.0]), np.array([eta]))
+        assert np.isclose(tau[0], 0.6 * 120e6)
+        assert np.isclose(V[0], (80e6 - 72e6) / eta)
+
+    def test_cohesion_adds_strength(self):
+        fr0 = LinearSlipWeakening(mu_s=0.6, mu_d=0.3, d_c=0.5)
+        fr1 = LinearSlipWeakening(mu_s=0.6, mu_d=0.3, d_c=0.5, cohesion=5e6)
+        args = (np.array([80e6]), np.array([120e6]), np.array([0.0]), np.array([4e6]))
+        V0, _ = fr0.solve(*args)
+        V1, _ = fr1.solve(*args)
+        assert V1[0] < V0[0]
+
+    def test_state_is_slip(self):
+        fr = LinearSlipWeakening(mu_s=0.6, mu_d=0.3, d_c=0.5)
+        psi = fr.evolve_state(np.array([0.1]), np.array([2.0]), 0.05)
+        assert np.isclose(psi[0], 0.2)
+
+    @given(
+        st.floats(min_value=1e5, max_value=2e8),
+        st.floats(min_value=1e6, max_value=3e8),
+        st.floats(min_value=0.0, max_value=2.0),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_traction_never_exceeds_stick_or_strength(self, ts, sig, slip):
+        fr = LinearSlipWeakening(mu_s=0.6, mu_d=0.3, d_c=0.5)
+        V, tau = fr.solve(np.array([ts]), np.array([sig]), np.array([slip]), np.array([4e6]))
+        strength = 0.6 * sig - min(slip / 0.5, 1.0) * 0.3 * sig
+        assert tau[0] <= ts + 1e-3
+        assert tau[0] <= strength + 1e-3
+        assert V[0] >= 0
+
+
+class TestRateState:
+    def make(self):
+        return RateStateFastVelocityWeakening(a=0.01, b=0.014, L=0.2, Vw=0.1, fw=0.2, f0=0.6)
+
+    def test_friction_coefficient_monotone_in_V(self):
+        fr = self.make()
+        psi = np.full(5, 0.6)
+        V = np.logspace(-9, 1, 5)
+        f = fr.f(V, psi)
+        assert (np.diff(f) > 0).all()
+
+    def test_steady_state_weakens_at_high_V(self):
+        fr = self.make()
+        assert fr.f_ss(np.array([10.0]))[0] < fr.f_ss(np.array([1e-9]))[0]
+        # fast limit approaches fw
+        assert np.isclose(fr.f_ss(np.array([1e4]))[0], fr.fw, atol=0.02)
+
+    def test_equilibrium_initialization(self):
+        """psi from stress makes the fault creep exactly at Vini."""
+        fr = self.make()
+        tau0, sig = np.array([45e6]), np.array([120e6])
+        psi0 = fr.initial_state_from_stress(tau0, sig)
+        # friction at Vini reproduces the stress ratio
+        assert np.isclose(fr.f(np.array([fr.Vini]), psi0)[0], 45e6 / 120e6, rtol=1e-9)
+
+    def test_solve_residual_zero(self):
+        fr = self.make()
+        psi0 = fr.initial_state_from_stress(np.array([45e6]), np.array([120e6]))
+        eta = np.array([4.6e6])
+        for stick in (45e6, 70e6, 90e6, 120e6):
+            V, tau = fr.solve(np.array([stick]), np.array([120e6]), psi0.copy(), eta)
+            resid = stick - eta * V - 120e6 * fr.f(V, psi0)
+            assert abs(resid[0]) < 1e-5 * stick
+            assert np.isclose(tau[0], stick - eta[0] * V[0], rtol=1e-9)
+
+    def test_solve_zero_normal_stress(self):
+        """With zero normal stress there is no strength: V = stick / eta."""
+        fr = self.make()
+        V, tau = fr.solve(np.array([1e6]), np.array([0.0]), np.array([0.6]), np.array([4e6]))
+        assert np.isclose(V[0], 1e6 / 4e6, rtol=1e-8)
+        assert np.isclose(tau[0], 0.0, atol=1.0)
+
+    def test_state_relaxes_to_steady_state(self):
+        fr = self.make()
+        V = np.array([1.0])
+        psi = np.array([0.9])
+        # evolve a long time at fixed V: psi -> psi_ss(V)
+        psi_end = fr.evolve_state(psi, V, 100.0 * fr.L / V[0])
+        assert np.isclose(psi_end[0], fr.psi_ss(V)[0], rtol=1e-6)
+
+    def test_state_exponential_rate(self):
+        fr = self.make()
+        V = np.array([0.5])
+        psi0 = np.array([0.9])
+        pss = fr.psi_ss(V)
+        dt = 0.01
+        psi1 = fr.evolve_state(psi0, V, dt)
+        expect = pss + (psi0 - pss) * np.exp(-V * dt / fr.L)
+        assert np.allclose(psi1, expect)
+
+    @given(st.floats(min_value=1e5, max_value=3e8), st.floats(min_value=0.3, max_value=1.2))
+    @settings(max_examples=30, deadline=None)
+    def test_solution_properties(self, stick, psi):
+        fr = self.make()
+        V, tau = fr.solve(np.array([stick]), np.array([120e6]), np.array([psi]), np.array([4.6e6]))
+        assert V[0] >= 0
+        assert 0 <= tau[0] <= stick * (1 + 1e-9)
+        # residual small
+        resid = stick - 4.6e6 * V - 120e6 * fr.f(V, np.array([psi]))
+        assert abs(resid[0]) <= 1e-5 * max(stick, 1e6)
+
+    def test_iteration_count_exposed(self):
+        fr = self.make()
+        fr.solve(np.array([90e6]), np.array([120e6]), np.array([0.6]), np.array([4.6e6]))
+        assert fr.last_iterations >= 1

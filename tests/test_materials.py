@@ -1,0 +1,94 @@
+"""Tests for material models and PDE Jacobians."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.materials import Material, acoustic, elastic, jacobian_normal, jacobians
+
+
+class TestMaterial:
+    def test_elastic_roundtrip(self):
+        m = elastic(2700.0, 6000.0, 3464.0)
+        assert np.isclose(m.cp, 6000.0)
+        assert np.isclose(m.cs, 3464.0)
+        assert not m.is_acoustic
+
+    def test_acoustic(self):
+        w = acoustic(1000.0, 1500.0)
+        assert w.is_acoustic
+        assert np.isclose(w.cp, 1500.0)
+        assert w.cs == 0.0
+        assert w.Zs == 0.0
+        assert np.isclose(w.lam, 1000.0 * 1500.0**2)  # bulk modulus
+
+    def test_impedances(self):
+        m = elastic(2700.0, 6000.0, 3464.0)
+        assert np.isclose(m.Zp, 2700 * 6000)
+        assert np.isclose(m.Zs, 2700 * 3464)
+
+    def test_rejects_nonpositive_density(self):
+        with pytest.raises(ValueError):
+            Material(rho=0.0, lam=1.0)
+
+    def test_rejects_negative_mu(self):
+        with pytest.raises(ValueError):
+            Material(rho=1.0, lam=1.0, mu=-1.0)
+
+    @given(
+        st.floats(min_value=0.1, max_value=1e4),
+        st.floats(min_value=1.0, max_value=1e4),
+        st.floats(min_value=0.1, max_value=0.7),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_speed_ordering(self, rho, cp, cs_frac):
+        m = elastic(rho, cp, cp * cs_frac)
+        assert m.cp > m.cs >= 0
+        assert m.max_wave_speed == m.cp
+
+
+class TestJacobians:
+    def test_eigenvalues_elastic(self, rock):
+        A, B, C = jacobians(rock)
+        for M in (A, B, C):
+            ev = np.sort(np.real(np.linalg.eigvals(M)))
+            assert np.allclose(ev[0], -rock.cp, rtol=1e-10)
+            assert np.allclose(ev[-1], rock.cp, rtol=1e-10)
+            assert np.isclose(np.sort(np.abs(ev))[3], rock.cs, rtol=1e-8)
+
+    def test_eigenvalues_acoustic(self, water):
+        A, _, _ = jacobians(water)
+        ev = np.sort(np.real(np.linalg.eigvals(A)))
+        assert np.isclose(ev[0], -water.cp)
+        assert np.isclose(ev[-1], water.cp)
+        assert np.count_nonzero(np.abs(ev) > 1.0) == 2  # only P waves
+
+    def test_acoustic_is_special_case(self, water):
+        """Acoustic equations = elastic with mu=0, K=lambda (paper Sec. 4.1)."""
+        A, B, C = jacobians(water)
+        # pressure rows: with sigma = -p I, dp/dt = -K div(v) means all three
+        # diagonal stress rows must be identical
+        assert np.allclose(A[0], A[1])
+        assert np.allclose(A[1], A[2])
+        assert np.allclose(B[0], B[2])
+        # no shear coupling at all
+        assert not A[3:6].any()
+        assert not B[3].any() or not B[3, 6:].any()
+
+    def test_jacobian_normal_axes(self, rock):
+        A, B, C = jacobians(rock)
+        assert np.allclose(jacobian_normal(rock, [1, 0, 0]), A)
+        assert np.allclose(jacobian_normal(rock, [0, 1, 0]), B)
+        assert np.allclose(jacobian_normal(rock, [0, 0, 1]), C)
+
+    @given(st.integers(min_value=0, max_value=1000))
+    @settings(max_examples=20, deadline=None)
+    def test_normal_jacobian_speeds_rotation_invariant(self, seed):
+        rock = elastic(2700.0, 6000.0, 3464.0)
+        rng = np.random.default_rng(seed)
+        n = rng.normal(size=3)
+        n /= np.linalg.norm(n)
+        ev = np.sort(np.real(np.linalg.eigvals(jacobian_normal(rock, n))))
+        assert np.isclose(ev[0], -rock.cp, rtol=1e-8)
+        assert np.isclose(ev[-1], rock.cp, rtol=1e-8)

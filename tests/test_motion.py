@@ -1,0 +1,144 @@
+"""Tests for the prescribed-motion (kinematic seafloor) boundary."""
+
+import numpy as np
+import pytest
+
+from repro.core.materials import acoustic, elastic
+from repro.core.riemann import FaceKind
+from repro.core.solver import CoupledSolver
+from repro.mesh.generators import box_mesh
+
+
+def ocean_box(nx=8, nz=4, L=4.0, h=1.0, c=20.0, top=FaceKind.GRAVITY_FREE_SURFACE):
+    oc = acoustic(1000.0, c)
+    m = box_mesh(
+        np.linspace(0, L, nx + 1), np.linspace(0, 0.5, 2), np.linspace(-h, 0, nz + 1), [oc]
+    )
+    m.glue_periodic(np.array([L, 0, 0]))
+    m.glue_periodic(np.array([0, 0.5, 0]))
+
+    def tagger(cent, nrm):
+        tags = np.full(len(cent), FaceKind.WALL.value)
+        tags[nrm[:, 2] < -0.99] = FaceKind.PRESCRIBED_MOTION.value
+        tags[nrm[:, 2] > 0.99] = top.value
+        return tags
+
+    m.tag_boundary(tagger)
+    return m
+
+
+class TestMechanics:
+    def test_zero_motion_equals_wall(self):
+        """motion = 0 must reproduce the rigid free-slip wall exactly."""
+        oc = acoustic(1000.0, 20.0)
+
+        def ic(x):
+            out = np.zeros((len(x), 9))
+            p = 5.0 * np.cos(2 * np.pi * x[:, 0] / 4.0)
+            out[:, 0] = out[:, 1] = out[:, 2] = -p
+            return out
+
+        m1 = ocean_box(top=FaceKind.FREE_SURFACE)
+        s1 = CoupledSolver(m1, order=2, bottom_motion=lambda pts, t: np.zeros(len(pts)))
+        s1.set_initial_condition(ic)
+
+        m2 = box_mesh(
+            np.linspace(0, 4.0, 9), np.linspace(0, 0.5, 2), np.linspace(-1.0, 0, 5), [oc]
+        )
+        m2.glue_periodic(np.array([4.0, 0, 0]))
+        m2.glue_periodic(np.array([0, 0.5, 0]))
+
+        def tagger(cent, nrm):
+            tags = np.full(len(cent), FaceKind.WALL.value)
+            tags[nrm[:, 2] > 0.99] = FaceKind.FREE_SURFACE.value
+            return tags
+
+        m2.tag_boundary(tagger)
+        s2 = CoupledSolver(m2, order=2)
+        s2.set_initial_condition(ic)
+
+        for _ in range(25):
+            s1.step()
+            s2.step()
+        assert np.abs(s1.Q - s2.Q).max() < 1e-10 * max(np.abs(s2.Q).max(), 1e-30)
+
+    def test_piston_radiates_pressure(self):
+        """A uniformly rising bottom radiates p = Z * v into the column."""
+        c, rho, v0 = 20.0, 1000.0, 1e-3
+        m = ocean_box(nx=4, nz=6, top=FaceKind.FREE_SURFACE)
+        s = CoupledSolver(m, order=2, bottom_motion=lambda pts, t: np.full(len(pts), v0))
+        # run until the wavefront is mid-column but not yet at the surface
+        t_target = 0.5 / c * 0.8
+        n = int(np.ceil(t_target / s.dt))
+        for _ in range(n):
+            s.step()
+        q = s.evaluate(np.array([[2.0, 0.25, -0.9]]))[0]
+        p = -(q[0] + q[1] + q[2]) / 3.0
+        assert np.isclose(p, rho * c * v0, rtol=0.05)
+        assert np.isclose(q[8], v0, rtol=0.05)
+
+    def test_uplift_bookkeeping(self):
+        m = ocean_box(nx=4, nz=2)
+        v0 = 2e-3
+        s = CoupledSolver(m, order=1, bottom_motion=lambda pts, t: np.full(len(pts), v0))
+        for _ in range(10):
+            s.step()
+        assert np.allclose(s.motion.uplift, v0 * s.t, rtol=1e-9)
+
+    def test_validation(self):
+        m = ocean_box(nx=4, nz=2)
+        with pytest.raises(ValueError):
+            CoupledSolver(m, order=1)  # tagged faces but no motion given
+        m2 = box_mesh(*(np.linspace(0, 1, 3),) * 3, [acoustic(1000.0, 20.0)])
+        with pytest.raises(ValueError):
+            CoupledSolver(m2, order=1, bottom_motion=lambda p, t: np.zeros(len(p)))
+
+
+class TestKajiuraTransfer:
+    @pytest.mark.slow
+    def test_short_wavelengths_filtered(self):
+        """The non-hydrostatic seafloor-to-surface transfer function.
+
+        An instantaneously-completed bottom uplift of wavenumber k produces
+        an initial sea-surface displacement ``eta = u / cosh(k h)`` (Kajiura
+        1963) — the mechanism the paper invokes for the smoother wavefronts
+        of the fully coupled model (Sec. 6.2).  A hydrostatic (shallow
+        water) transfer passes the uplift 1:1.
+        """
+        h, c = 1.0, 25.0
+        ratios = {}
+        for L, nx in ((8.0, 8), (2.0, 10)):
+            k = 2 * np.pi / L
+            m = ocean_box(nx=nx, nz=5, L=L, h=h, c=c)
+            u0 = 1e-4
+            T_rise = 3 * h / c  # fast vs gravity, slow vs acoustics
+
+            def motion(pts, t, k=k):
+                rate = u0 / T_rise if t < T_rise else 0.0
+                return rate * np.cos(k * pts[:, 0])
+
+            s = CoupledSolver(m, order=2, bottom_motion=motion)
+            # after the rise, the surface bump oscillates as a standing
+            # gravity wave eta0 cos(w t) with acoustic reverberations on
+            # top; least-squares fit of the gravity component over one
+            # period separates the two (the acoustics average out)
+            omega = np.sqrt(9.81 * k * np.tanh(k * h))
+            t_end = T_rise + 2 * np.pi / omega
+            x = s.gravity.points[:, :, 0]
+            ts, amps = [], []
+            while s.t < t_end:
+                s.step()
+                if s.t > T_rise:
+                    ts.append(s.t)
+                    amps.append(2 * np.mean(s.gravity.eta * np.cos(k * x)))
+            ts, amps = np.array(ts), np.array(amps)
+            basis = np.column_stack([np.cos(omega * ts), np.sin(omega * ts), np.ones_like(ts)])
+            coef = np.linalg.lstsq(basis, amps, rcond=None)[0]
+            ratios[k * h] = float(np.hypot(coef[0], coef[1])) / u0
+
+        for kh, ratio in ratios.items():
+            expected = 1.0 / np.cosh(kh)
+            assert np.isclose(ratio, expected, rtol=0.25), (kh, ratio, expected)
+        # and the qualitative statement: short wavelengths strongly filtered
+        khs = sorted(ratios)
+        assert ratios[khs[1]] < 0.7 * ratios[khs[0]]

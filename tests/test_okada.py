@@ -1,0 +1,94 @@
+"""Tests for the Okada (1985) half-space dislocation solution."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.tsunami.okada import OkadaFault
+
+
+class TestScrewDislocationLimit:
+    def test_matches_2d_antiplane_solution(self):
+        """Infinitely long, surface-breaking vertical strike-slip fault:
+        the along-strike displacement is the classical screw dislocation
+        ``u = (U / pi) arctan(D / y)`` — an *exact* closed-form check."""
+        D, U = 1.0, 1.0
+        f = OkadaFault(length=10000.0, width=D, depth=0.0, dip=90.0, slip_strike=U, strike=90.0)
+        y = np.array([0.05, 0.1, 0.3, 1.0, 3.0])
+        u = f.displacement(np.zeros_like(y), y)
+        exact = (U / np.pi) * np.arctan(D / y)
+        assert np.allclose(np.abs(u[0]), exact, rtol=1e-5)
+        assert np.abs(u[2]).max() < 1e-10
+
+    def test_slip_discontinuity_across_trace(self):
+        f = OkadaFault(length=10000.0, width=2.0, depth=0.0, dip=90.0, slip_strike=1.0, strike=90.0)
+        up = f.displacement(np.array([0.0]), np.array([1e-4]))[0, 0]
+        dn = f.displacement(np.array([0.0]), np.array([-1e-4]))[0, 0]
+        assert np.isclose(abs(up - dn), 1.0, rtol=1e-3)
+
+
+class TestThrustPattern:
+    def test_uplift_dominates_subsidence(self):
+        """Shallow-dip thrust: strong uplift above the hanging wall, weaker
+        subsidence trough — the textbook megathrust pattern."""
+        f = OkadaFault(length=100e3, width=50e3, depth=5e3, dip=16.0, slip_dip=5.0)
+        x = np.linspace(-150e3, 150e3, 151)
+        X, Y = np.meshgrid(x, x, indexing="ij")
+        uz = f.displacement(X, Y)[2]
+        assert 0.2 * 5.0 < uz.max() < 0.8 * 5.0
+        assert uz.min() < -0.02 * 5.0
+        assert abs(uz.min()) < uz.max()
+
+    def test_uplift_efficiency_peaks_at_moderate_dip(self):
+        """Vertical uplift efficiency of a buried thrust is maximal at
+        moderate dip and decays toward both horizontal and vertical dip."""
+        x = np.linspace(-100e3, 100e3, 101)
+        X, Y = np.meshgrid(x, x, indexing="ij")
+        peaks = {}
+        for dip in (2.0, 10.0, 30.0, 89.0):
+            f = OkadaFault(length=50e3, width=20e3, depth=10e3, dip=dip, slip_dip=2.0)
+            peaks[dip] = f.displacement(X, Y)[2].max()
+        assert peaks[2.0] < peaks[10.0] < peaks[30.0]
+        assert peaks[89.0] < peaks[30.0]
+
+
+class TestSymmetries:
+    def test_strike_slip_quadrant_antisymmetry(self):
+        f = OkadaFault(length=60e3, width=20e3, depth=1e3, dip=89.99, slip_strike=3.0)
+        x = np.linspace(-100e3, 100e3, 81)
+        X, Y = np.meshgrid(x, x, indexing="ij")
+        uz = f.displacement(X, Y)[2]
+        scale = np.abs(uz).max()
+        assert np.abs(uz + uz[::-1, :]).max() < 1e-3 * scale
+        assert np.abs(uz + uz[:, ::-1]).max() < 1e-3 * scale
+
+    @given(st.floats(min_value=0.1, max_value=5.0))
+    @settings(max_examples=10, deadline=None)
+    def test_linearity_in_slip(self, slip):
+        f1 = OkadaFault(length=40e3, width=20e3, depth=5e3, dip=30.0, slip_dip=1.0)
+        fs = OkadaFault(length=40e3, width=20e3, depth=5e3, dip=30.0, slip_dip=slip)
+        pts = np.array([10e3, -5e3]), np.array([7e3, 12e3])
+        u1 = f1.displacement(*pts)
+        us = fs.displacement(*pts)
+        assert np.allclose(us, slip * u1, rtol=1e-10)
+
+    def test_far_field_decay(self):
+        f = OkadaFault(length=40e3, width=20e3, depth=5e3, dip=30.0, slip_dip=2.0)
+        near = np.abs(f.displacement(np.array([0.0]), np.array([10e3]))).max()
+        far = np.abs(f.displacement(np.array([0.0]), np.array([1000e3]))).max()
+        assert far < 1e-3 * near
+
+    def test_strike_rotation_consistency(self):
+        """Rotating the fault and the observation points together leaves the
+        (co-rotated) displacement invariant."""
+        f0 = OkadaFault(length=40e3, width=20e3, depth=5e3, dip=30.0, slip_dip=2.0, strike=0.0)
+        f90 = OkadaFault(length=40e3, width=20e3, depth=5e3, dip=30.0, slip_dip=2.0, strike=90.0)
+        p = np.array([7e3, 12e3])
+        u0 = f0.displacement(np.array([p[0]]), np.array([p[1]]))
+        # strike=0 frame point (x, y) corresponds to strike=90 point (y, -x)
+        u90 = f90.displacement(np.array([p[1]]), np.array([-p[0]]))
+        assert np.isclose(u0[2, 0], u90[2, 0], rtol=1e-9)
+        # horizontal components co-rotate (90 deg clockwise)
+        assert np.isclose(u0[0, 0], -u90[1, 0], rtol=1e-9, atol=1e-15)
+        assert np.isclose(u0[1, 0], u90[0, 0], rtol=1e-9, atol=1e-15)

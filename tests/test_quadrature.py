@@ -1,0 +1,117 @@
+"""Unit and property tests for the simplex quadrature rules."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.quadrature import (
+    gauss_jacobi_01,
+    gauss_legendre_01,
+    tetrahedron_rule,
+    triangle_rule,
+)
+
+
+def _monomial_integral_tri(a: int, b: int) -> float:
+    """Exact integral of r^a s^b over the unit triangle: a! b! / (a+b+2)!"""
+    from math import factorial
+
+    return factorial(a) * factorial(b) / factorial(a + b + 2)
+
+
+def _monomial_integral_tet(a: int, b: int, c: int) -> float:
+    from math import factorial
+
+    return factorial(a) * factorial(b) * factorial(c) / factorial(a + b + c + 3)
+
+
+class TestGaussJacobi:
+    def test_weight_sum_alpha0(self):
+        x, w = gauss_jacobi_01(5, 0)
+        assert np.isclose(w.sum(), 1.0)
+
+    def test_weight_sum_alpha1(self):
+        x, w = gauss_jacobi_01(5, 1)
+        assert np.isclose(w.sum(), 0.5)  # int_0^1 (1-x) dx
+
+    def test_weight_sum_alpha2(self):
+        x, w = gauss_jacobi_01(5, 2)
+        assert np.isclose(w.sum(), 1.0 / 3.0)
+
+    @pytest.mark.parametrize("alpha", [0, 1, 2])
+    @pytest.mark.parametrize("n", [1, 2, 4, 7])
+    def test_polynomial_exactness(self, alpha, n):
+        x, w = gauss_jacobi_01(n, alpha)
+        for deg in range(2 * n):
+            # int_0^1 x^deg (1-x)^alpha dx = B(deg+1, alpha+1)
+            from scipy.special import beta
+
+            exact = beta(deg + 1, alpha + 1)
+            assert np.isclose(np.sum(w * x**deg), exact, rtol=1e-12), deg
+
+    def test_rejects_zero_points(self):
+        with pytest.raises(ValueError):
+            gauss_jacobi_01(0, 0)
+
+    def test_nodes_inside(self):
+        x, _ = gauss_jacobi_01(8, 1)
+        assert np.all((x > 0) & (x < 1))
+
+
+class TestTriangleRule:
+    @pytest.mark.parametrize("n", [1, 2, 3, 5])
+    def test_exactness(self, n):
+        pts, w = triangle_rule(n)
+        for a in range(2 * n):
+            for b in range(2 * n - a):
+                val = np.sum(w * pts[:, 0] ** a * pts[:, 1] ** b)
+                assert np.isclose(val, _monomial_integral_tri(a, b), rtol=1e-11), (a, b)
+
+    def test_points_inside(self):
+        pts, w = triangle_rule(4)
+        assert np.all(pts >= 0)
+        assert np.all(pts.sum(axis=1) <= 1)
+        assert np.all(w > 0)
+
+    def test_area(self):
+        _, w = triangle_rule(3)
+        assert np.isclose(w.sum(), 0.5)
+
+
+class TestTetRule:
+    @pytest.mark.parametrize("n", [1, 2, 3, 4])
+    def test_exactness(self, n):
+        pts, w = tetrahedron_rule(n)
+        deg = 2 * n - 1
+        for a in range(deg + 1):
+            for b in range(deg + 1 - a):
+                for c in range(deg + 1 - a - b):
+                    val = np.sum(w * pts[:, 0] ** a * pts[:, 1] ** b * pts[:, 2] ** c)
+                    assert np.isclose(
+                        val, _monomial_integral_tet(a, b, c), rtol=1e-10, atol=1e-15
+                    ), (a, b, c)
+
+    def test_volume(self):
+        _, w = tetrahedron_rule(3)
+        assert np.isclose(w.sum(), 1.0 / 6.0)
+
+    def test_points_inside_positive_weights(self):
+        pts, w = tetrahedron_rule(5)
+        assert np.all(pts >= 0)
+        assert np.all(pts.sum(axis=1) <= 1 + 1e-14)
+        assert np.all(w > 0)
+
+    @given(st.integers(min_value=1, max_value=6))
+    @settings(max_examples=6, deadline=None)
+    def test_rule_size(self, n):
+        pts, w = tetrahedron_rule(n)
+        assert pts.shape == (n**3, 3)
+        assert w.shape == (n**3,)
+
+
+class TestGaussLegendre01:
+    def test_exactness(self):
+        x, w = gauss_legendre_01(4)
+        for deg in range(8):
+            assert np.isclose(np.sum(w * x**deg), 1.0 / (deg + 1))

@@ -1,0 +1,73 @@
+"""Tests for the mesh-quality diagnostics."""
+
+import numpy as np
+import pytest
+
+from repro.core.materials import acoustic, elastic
+from repro.mesh.generators import bathymetry_mesh, box_mesh
+from repro.mesh.quality import MeshQuality, assess, timestep_report
+from repro.mesh.tetmesh import TetMesh
+
+ROCK = elastic(2700.0, 6000.0, 3464.0)
+WATER = acoustic(1000.0, 1500.0)
+
+
+class TestAssess:
+    def test_regular_tet(self):
+        """A regular tetrahedron has radius ratio exactly 1."""
+        a = 1.0
+        verts = np.array(
+            [
+                [1.0, 1.0, 1.0],
+                [1.0, -1.0, -1.0],
+                [-1.0, 1.0, -1.0],
+                [-1.0, -1.0, 1.0],
+            ]
+        ) * a
+        m = TetMesh(verts, np.array([[0, 1, 2, 3]]), [ROCK])
+        q = assess(m)
+        assert np.isclose(q.radius_ratio_min, 1.0, rtol=1e-10)
+        assert not q.worst_is_sliver
+
+    def test_box_mesh_quality(self):
+        m = box_mesh(*(np.linspace(0, 1, 4),) * 3, [ROCK])
+        q = assess(m)
+        assert q.n_elements == m.n_elements
+        assert np.isclose(q.volume_total, 1.0)
+        assert 0.2 < q.radius_ratio_min <= q.radius_ratio_mean <= 1.0
+        assert q.edge_min > 0.3
+        assert np.isclose(q.edge_max, np.sqrt(3) / 3, rtol=0.01)  # cube diagonal /3
+
+    def test_sliver_detected(self):
+        """A squashed tet is flagged as a sliver."""
+        verts = np.array(
+            [[0.0, 0, 0], [1, 0, 0], [0, 1, 0], [0.5, 0.5, 1e-3]]
+        )
+        m = TetMesh(verts, np.array([[0, 1, 2, 3]]), [ROCK])
+        q = assess(m)
+        assert q.radius_ratio_min < 0.05
+        assert q.worst_is_sliver
+
+    def test_flat_ocean_cells_lower_quality(self):
+        m = bathymetry_mesh(
+            np.linspace(0, 4000.0, 5),
+            np.linspace(0, 4000.0, 5),
+            lambda x, y: np.full_like(x, -50.0),
+            2,
+            np.linspace(-3000.0, -50.0, 3),
+            ROCK,
+            WATER,
+        )
+        q = assess(m)
+        # 25 m layers under 1 km cells: very flat, low ratio but valid
+        assert 0 < q.radius_ratio_min < 0.2
+        assert q.insphere_min < 50.0
+
+
+class TestReport:
+    def test_timestep_report_contents(self):
+        m = box_mesh(*(np.linspace(0, 1000.0, 3),) * 3, [ROCK])
+        rep = timestep_report(m, order=2)
+        assert "elements: 48" in rep
+        assert "LTS clusters" in rep
+        assert "update reduction" in rep

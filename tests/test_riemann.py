@@ -1,0 +1,211 @@
+"""Tests for the exact Riemann solvers and flux matrices (paper Sec. 4.2/4.3)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.materials import SXX, SXY, SXZ, VX, VY, VZ, acoustic, elastic, jacobian_normal, jacobians
+from repro.core.riemann import (
+    FaceKind,
+    boundary_flux_matrix,
+    free_surface_matrix,
+    gravity_affine_vector,
+    interior_flux_matrices,
+    jacobian_positive_part,
+    middle_state_matrices,
+    wall_matrix,
+)
+from repro.core.rotation import state_rotation, state_rotation_inverse
+
+
+def random_unit(seed):
+    rng = np.random.default_rng(seed)
+    n = rng.normal(size=3)
+    return n / np.linalg.norm(n)
+
+
+ROCK = elastic(2700.0, 6000.0, 3464.0)
+SOFT = elastic(2000.0, 3000.0, 1500.0)
+WATER = acoustic(1000.0, 1500.0)
+
+
+class TestMiddleState:
+    def test_welded_consistency(self):
+        """Equal traces of compatible states reproduce the trace."""
+        Gm, Gp = middle_state_matrices(ROCK, ROCK)
+        w = np.random.default_rng(0).normal(size=9)
+        assert np.allclose((Gm + Gp) @ w, w)
+
+    def test_elastic_acoustic_zero_shear(self):
+        Gm, Gp = middle_state_matrices(ROCK, WATER)
+        w = np.random.default_rng(1).normal(size=9)
+        wb = Gm @ w + Gp @ np.random.default_rng(2).normal(size=9)
+        assert np.isclose(wb[SXY], 0.0)
+        assert np.isclose(wb[SXZ], 0.0)
+
+    def test_elastic_acoustic_consistency(self):
+        """Physically compatible equal traces are reproduced (Sec. 4.2)."""
+        Gm, Gp = middle_state_matrices(ROCK, WATER)
+        rng = np.random.default_rng(3)
+        w = rng.normal(size=9)
+        w[SXY] = w[SXZ] = 0.0  # compatible: no shear traction
+        wb = (Gm + Gp) @ w
+        # normal traction and normal velocity reproduced
+        assert np.isclose(wb[SXX], w[SXX])
+        assert np.isclose(wb[VX], w[VX])
+
+    def test_welded_different_materials_continuity(self):
+        """Middle state must satisfy continuity seen from both sides."""
+        Gm, Gp = middle_state_matrices(ROCK, SOFT)
+        Gm2, Gp2 = middle_state_matrices(SOFT, ROCK)
+        rng = np.random.default_rng(4)
+        wm, wp = rng.normal(size=9), rng.normal(size=9)
+        wb_from_minus = Gm @ wm + Gp @ wp
+        # seen from the other side the normal flips: in the mirrored local
+        # frame traction and velocity components transform consistently; we
+        # verify the traction/velocity *values* agree via the explicit
+        # two-wave solution instead.
+        a = (wp[SXX] - wm[SXX] + SOFT.Zp * (wp[VX] - wm[VX])) / (ROCK.Zp + SOFT.Zp)
+        assert np.isclose(wb_from_minus[SXX], wm[SXX] + ROCK.Zp * a)
+        assert np.isclose(wb_from_minus[VX], wm[VX] + a)
+
+    def test_paper_eq17_18(self):
+        """Explicit check of paper Eqs. (17)-(18) on the elastic side."""
+        rng = np.random.default_rng(5)
+        wm, wp = rng.normal(size=9), rng.normal(size=9)
+        Gm, Gp = middle_state_matrices(ROCK, WATER)
+        wb = Gm @ wm + Gp @ wp
+        Zpm, Zpp, Zsm = ROCK.Zp, WATER.Zp, ROCK.Zs
+        alpha1 = (
+            Zpm * Zpp / (Zpm + Zpp) * ((wm[0] - wp[0]) / Zpp + wm[6] - wp[6])
+        )
+        assert np.isclose(wb[0], wm[0] - alpha1)
+        assert np.isclose(wb[6], wm[6] - alpha1 / Zpm)
+        assert np.isclose(wb[7], wm[7] - wm[3] / Zsm)
+        assert np.isclose(wb[8], wm[8] - wm[5] / Zsm)
+
+
+class TestFluxMatrices:
+    @given(st.integers(min_value=0, max_value=1000))
+    @settings(max_examples=20, deadline=None)
+    def test_welded_equals_physical_flux(self, seed):
+        n = random_unit(seed)
+        Fm, Fp = interior_flux_matrices(ROCK, ROCK, n)
+        q = np.random.default_rng(seed).normal(size=9)
+        Ahat = jacobian_normal(ROCK, n)
+        assert np.allclose((Fm + Fp) @ q, Ahat @ q, rtol=1e-10, atol=1e-6)
+
+    def test_coupled_flux_consistency(self):
+        """Compatible continuous states get the physical flux (convergence
+        prerequisite highlighted in paper Sec. 4.2)."""
+        n = random_unit(7)
+        T = state_rotation(n)
+        w = np.random.default_rng(8).normal(size=9)
+        w[SXY] = w[SXZ] = 0.0
+        q = T @ w
+        Fm, Fp = interior_flux_matrices(ROCK, WATER, n)
+        Ahat = jacobian_normal(ROCK, n)
+        assert np.allclose((Fm + Fp) @ q, Ahat @ q, rtol=1e-9, atol=1e-6)
+
+    def test_one_sided_flux_would_differ(self):
+        """A flux ignoring the other side's impedance differs from the exact
+        one (the non-convergence pitfall of [64] cited in Sec. 4.2)."""
+        n = np.array([1.0, 0, 0])
+        Fm_coupled, _ = interior_flux_matrices(ROCK, WATER, n)
+        Fm_wrong, _ = interior_flux_matrices(ROCK, ROCK, n)
+        assert not np.allclose(Fm_coupled, Fm_wrong, rtol=1e-3)
+
+    def test_acoustic_side_no_shear_flux(self):
+        n = np.array([0.0, 0, 1.0])
+        Fm, Fp = interior_flux_matrices(WATER, ROCK, n)
+        q = np.random.default_rng(9).normal(size=9)
+        flux = Fm @ q + Fp @ q
+        # acoustic flux never produces shear stress
+        assert np.allclose(flux[3:6], 0.0, atol=1e-8)
+
+
+class TestBoundary:
+    def test_free_surface_zeroes_traction(self):
+        G = free_surface_matrix(ROCK)
+        w = np.random.default_rng(10).normal(size=9)
+        wb = G @ w
+        assert np.allclose([wb[SXX], wb[SXY], wb[SXZ]], 0.0)
+
+    def test_wall_zeroes_normal_velocity(self):
+        G = wall_matrix(ROCK)
+        w = np.random.default_rng(11).normal(size=9)
+        wb = G @ w
+        assert np.isclose(wb[VX], 0.0)
+        assert np.allclose([wb[SXY], wb[SXZ]], 0.0)  # free slip
+
+    def test_wall_reflects_like_mirror_ghost(self):
+        """Wall middle state == welded Riemann against the mirrored ghost."""
+        w = np.random.default_rng(12).normal(size=9)
+        ghost = w.copy()
+        ghost[VX] = -w[VX]
+        ghost[SXY] = -w[SXY]
+        ghost[SXZ] = -w[SXZ]
+        Gm, Gp = middle_state_matrices(ROCK, ROCK)
+        wb_ghost = Gm @ w + Gp @ ghost
+        wb_wall = wall_matrix(ROCK) @ w
+        for idx in (SXX, SXY, SXZ, VX, VY, VZ):
+            assert np.isclose(wb_wall[idx], wb_ghost[idx]), idx
+
+    def test_free_surface_reflects_like_traction_ghost(self):
+        """Free surface == welded Riemann against the traction-mirrored ghost."""
+        w = np.random.default_rng(13).normal(size=9)
+        ghost = w.copy()
+        ghost[SXX] = -w[SXX]
+        ghost[SXY] = -w[SXY]
+        ghost[SXZ] = -w[SXZ]
+        Gm, Gp = middle_state_matrices(ROCK, ROCK)
+        wb_ghost = Gm @ w + Gp @ ghost
+        wb_fs = free_surface_matrix(ROCK) @ w
+        for idx in (SXX, SXY, SXZ, VX, VY, VZ):
+            assert np.isclose(wb_fs[idx], wb_ghost[idx]), idx
+
+    def test_gravity_affine_vector(self):
+        c = gravity_affine_vector(WATER, g=9.81)
+        # paper Eq. 22: p^b = rho g eta  =>  sigma_nn^b = -rho g eta
+        assert np.isclose(c[SXX], -1000.0 * 9.81)
+        assert np.isclose(c[VX], -1000.0 * 9.81 / WATER.Zp)
+
+    def test_boundary_flux_kinds(self):
+        n = random_unit(14)
+        for kind in (FaceKind.FREE_SURFACE, FaceKind.WALL, FaceKind.ABSORBING):
+            F = boundary_flux_matrix(ROCK, n, kind)
+            assert F.shape == (9, 9)
+        with pytest.raises(ValueError):
+            boundary_flux_matrix(ROCK, n, FaceKind.INTERIOR)
+
+
+class TestPositivePart:
+    @pytest.mark.parametrize("mat", [ROCK, WATER])
+    def test_splitting(self, mat):
+        A = jacobians(mat)[0]
+        Ap = jacobian_positive_part(mat)
+        Am = A - Ap
+        evp = np.real(np.linalg.eigvals(Ap))
+        evm = np.real(np.linalg.eigvals(Am))
+        assert evp.min() > -1e-6 * mat.cp
+        assert evm.max() < 1e-6 * mat.cp
+        # A+ and A- annihilate each other (independent characteristic fields)
+        assert np.abs(Ap @ Am).max() < 1e-10 * np.abs(A).max() ** 2 / mat.cp
+
+    def test_outgoing_plane_wave_passes(self):
+        """A right-going P wave state is transported by A+ unchanged vs A."""
+        mat = ROCK
+        r = np.zeros(9)
+        r[0], r[1], r[2], r[6] = mat.lam + 2 * mat.mu, mat.lam, mat.lam, -mat.cp
+        A = jacobians(mat)[0]
+        Ap = jacobian_positive_part(mat)
+        assert np.allclose(Ap @ r, A @ r, rtol=1e-12)
+
+    def test_incoming_wave_absorbed(self):
+        """A left-going P wave state produces zero outgoing flux."""
+        mat = ROCK
+        r = np.zeros(9)
+        r[0], r[1], r[2], r[6] = mat.lam + 2 * mat.mu, mat.lam, mat.lam, +mat.cp
+        Ap = jacobian_positive_part(mat)
+        assert np.abs(Ap @ r).max() < 1e-8 * mat.lam

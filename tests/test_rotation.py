@@ -1,0 +1,98 @@
+"""Tests for the T(n) similarity transforms (paper Eq. 15)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.materials import acoustic, elastic, jacobian_normal, jacobians
+from repro.core.rotation import (
+    batched_normal_basis,
+    batched_state_rotation,
+    bond_matrix,
+    normal_basis,
+    state_rotation,
+    state_rotation_inverse,
+)
+
+
+def random_unit(seed):
+    rng = np.random.default_rng(seed)
+    n = rng.normal(size=3)
+    return n / np.linalg.norm(n)
+
+
+class TestNormalBasis:
+    @given(st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=50, deadline=None)
+    def test_orthonormal_right_handed(self, seed):
+        n = random_unit(seed)
+        R = normal_basis(n)
+        assert np.allclose(R.T @ R, np.eye(3), atol=1e-13)
+        assert np.isclose(np.linalg.det(R), 1.0)
+        assert np.allclose(R[:, 0], n)
+
+    def test_rejects_degenerate(self):
+        with pytest.raises(ValueError):
+            normal_basis(np.zeros(3))
+
+    def test_batched_matches_single(self):
+        normals = np.array([random_unit(s) for s in range(10)])
+        Rb = batched_normal_basis(normals)
+        for i, n in enumerate(normals):
+            assert np.allclose(Rb[i], normal_basis(n), atol=1e-14)
+
+
+class TestBond:
+    @given(st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=25, deadline=None)
+    def test_transforms_stress_correctly(self, seed):
+        rng = np.random.default_rng(seed)
+        R = normal_basis(random_unit(seed))
+        s = rng.normal(size=(3, 3))
+        s = s + s.T
+        voigt = np.array([s[0, 0], s[1, 1], s[2, 2], s[0, 1], s[1, 2], s[0, 2]])
+        rot = R @ s @ R.T
+        voigt_rot = bond_matrix(R) @ voigt
+        expect = np.array([rot[0, 0], rot[1, 1], rot[2, 2], rot[0, 1], rot[1, 2], rot[0, 2]])
+        assert np.allclose(voigt_rot, expect, atol=1e-12)
+
+    def test_identity(self):
+        assert np.allclose(bond_matrix(np.eye(3)), np.eye(6))
+
+
+class TestStateRotation:
+    @given(st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=25, deadline=None)
+    def test_similarity_identity_elastic(self, seed):
+        """T(n) A T(n)^-1 == nx A + ny B + nz C (paper Eq. 15)."""
+        mat = elastic(2700.0, 6000.0, 3464.0)
+        n = random_unit(seed)
+        A = jacobians(mat)[0]
+        lhs = state_rotation(n) @ A @ state_rotation_inverse(n)
+        rhs = jacobian_normal(mat, n)
+        assert np.abs(lhs - rhs).max() < 1e-9 * np.abs(rhs).max()
+
+    @given(st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=15, deadline=None)
+    def test_similarity_identity_acoustic(self, seed):
+        mat = acoustic(1000.0, 1500.0)
+        n = random_unit(seed)
+        A = jacobians(mat)[0]
+        lhs = state_rotation(n) @ A @ state_rotation_inverse(n)
+        assert np.abs(lhs - jacobian_normal(mat, n)).max() < 1e-9 * mat.lam
+
+    @given(st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=25, deadline=None)
+    def test_inverse(self, seed):
+        n = random_unit(seed)
+        assert np.allclose(
+            state_rotation(n) @ state_rotation_inverse(n), np.eye(9), atol=1e-12
+        )
+
+    def test_batched_matches_single(self):
+        normals = np.array([random_unit(s) for s in range(7)])
+        T, Tinv = batched_state_rotation(normals)
+        for i, n in enumerate(normals):
+            assert np.allclose(T[i], state_rotation(n), atol=1e-13)
+            assert np.allclose(Tinv[i], state_rotation_inverse(n), atol=1e-13)

@@ -1,0 +1,139 @@
+"""Tests for the nonlinear shallow-water solver (one-way-linking baseline)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.tsunami.swe import ShallowWaterSolver
+
+
+def flat_channel(L=100.0, n=201, h0=4.0, boundary="wall"):
+    return ShallowWaterSolver(
+        np.linspace(0, L, n),
+        np.linspace(0, 2, 3),
+        lambda X, Y: np.full_like(X, -h0),
+        boundary=boundary,
+    )
+
+
+class TestWellBalanced:
+    def test_lake_at_rest_flat(self):
+        s = flat_channel()
+        s.run(2.0)
+        assert np.abs(s.eta).max() < 1e-12
+        assert np.abs(s.hu).max() < 1e-12
+
+    def test_lake_at_rest_bumpy(self):
+        """Hydrostatic reconstruction: no spurious currents over bathymetry."""
+        xs = np.linspace(0, 10, 41)
+        s = ShallowWaterSolver(
+            xs, xs, lambda X, Y: -2.0 + 0.8 * np.exp(-((X - 5) ** 2 + (Y - 5) ** 2))
+        )
+        s.run(1.0)
+        assert np.abs(s.eta).max() < 1e-11
+        assert np.abs(s.hu).max() + np.abs(s.hv).max() < 1e-11
+
+    def test_lake_at_rest_with_dry_island(self):
+        xs = np.linspace(0, 10, 41)
+        s = ShallowWaterSolver(
+            xs, xs, lambda X, Y: -1.0 + 2.0 * np.exp(-((X - 5) ** 2 + (Y - 5) ** 2))
+        )
+        assert (s.h >= 0).all()
+        dry0 = s.h <= s.h_dry
+        s.run(1.0)
+        assert np.abs(s.eta[~dry0]).max() < 1e-10
+
+
+class TestWavePhysics:
+    def test_gravity_wave_speed(self):
+        """Small pulse travels at sqrt(g h)."""
+        h0 = 4.0
+        s = flat_channel(h0=h0)
+        s.set_surface(lambda X, Y: 0.01 * np.exp(-((X - 30) ** 2) / (2 * 2.0**2)))
+        s.run(5.0)
+        i = np.argmax(s.eta[120:, 1]) + 120
+        expected = 30 + np.sqrt(9.81 * h0) * 5.0
+        assert abs(s.xc[i] - expected) < 2.0
+
+    def test_volume_conservation(self):
+        s = flat_channel(boundary="wall")
+        s.set_surface(lambda X, Y: 0.5 * np.exp(-((X - 50) ** 2) / 50.0))
+        v0 = s.volume()
+        s.run(5.0)
+        assert abs(s.volume() - v0) < 1e-9 * v0
+
+    def test_dam_break_middle_state(self):
+        """Stoker problem: middle state between the two levels, front
+        bounded by the analytic rarefaction/shock speeds."""
+        s = ShallowWaterSolver(
+            np.linspace(0, 100, 201),
+            np.linspace(0, 1, 2),
+            lambda X, Y: np.full_like(X, -10.0),
+            boundary="outflow",
+        )
+        s.set_surface(lambda X, Y: np.where(X < 50, 2.0, 0.0))
+        s.run(2.0)
+        eta_mid = s.eta[100, 0]
+        assert 0.2 < eta_mid < 2.0
+        # undisturbed far field
+        assert abs(s.eta[5, 0] - 2.0) < 1e-6
+        assert abs(s.eta[-5, 0]) < 1e-6
+
+    def test_uplift_sources_wave(self):
+        """Time-dependent bed motion radiates a gravity wave (the linking
+        mechanism of Sec. 6.1)."""
+        xs = np.linspace(0, 100, 101)
+        s = ShallowWaterSolver(xs, xs, lambda X, Y: np.full_like(X, -2.0), boundary="wall")
+        b0 = s.b.copy()
+        up = 0.5 * np.exp(-((s.X - 50) ** 2 + (s.Y - 50) ** 2) / (2 * 10**2))
+        s.set_bed_motion(lambda t: b0 + up * min(t / 2.0, 1.0))
+        v0 = s.volume()
+        s.run(4.0)
+        assert s.eta.max() > 0.05
+        assert abs(s.volume() - v0) < 1e-9 * v0
+        # after the rise finished, a ring wave moves outward
+        s.run(8.0)
+        center = s.eta[50, 50]
+        ring = s.eta[30, 50]
+        assert ring > center
+
+    def test_fast_uplift_transfers_fully(self):
+        """Near-instant uplift: sea surface = uplift (long-wave limit)."""
+        xs = np.linspace(0, 200, 101)
+        s = ShallowWaterSolver(xs, xs, lambda X, Y: np.full_like(X, -2.0), boundary="wall")
+        b0 = s.b.copy()
+        up = 0.5 * np.exp(-((s.X - 100) ** 2 + (s.Y - 100) ** 2) / (2 * 30**2))
+        T_rise = 0.1  # much shorter than the wave-escape time (~ 7 s)
+        s.set_bed_motion(lambda t: b0 + up * min(t / T_rise, 1.0))
+        s.run(0.2)
+        assert np.isclose(s.eta.max(), 0.5, rtol=0.05)
+
+
+class TestAPI:
+    def test_rejects_nonuniform_grid(self):
+        xs = np.array([0.0, 1.0, 3.0])
+        with pytest.raises(ValueError):
+            ShallowWaterSolver(xs, xs, lambda X, Y: -np.ones_like(X))
+
+    def test_rejects_bad_boundary(self):
+        xs = np.linspace(0, 1, 3)
+        with pytest.raises(ValueError):
+            ShallowWaterSolver(xs, xs, lambda X, Y: -np.ones_like(X), boundary="magic")
+
+    def test_bed_array_shape_check(self):
+        xs = np.linspace(0, 1, 5)
+        with pytest.raises(ValueError):
+            ShallowWaterSolver(xs, xs, np.zeros((3, 3)))
+
+    def test_sample_eta(self):
+        s = flat_channel()
+        s.set_surface(lambda X, Y: 0.1 * np.sin(2 * np.pi * X / 100.0))
+        v = s.sample_eta(np.array([[25.0, 1.0]]))
+        assert np.isclose(v[0], 0.1, atol=0.01)
+
+    @given(st.floats(min_value=0.5, max_value=10.0))
+    @settings(max_examples=8, deadline=None)
+    def test_stable_dt_positive(self, h0):
+        s = flat_channel(h0=h0, n=21)
+        assert 0 < s.stable_dt() < 10.0

@@ -11,6 +11,7 @@ meshes) for a quick smoke pass of the whole suite.
 from __future__ import annotations
 
 import os
+import tempfile
 from functools import lru_cache
 
 import numpy as np
@@ -26,12 +27,25 @@ def _print_header(name: str):
 
 def report(name: str, lines: list[str]) -> None:
     """Print a paper-vs-measured comparison and persist it to
-    ``benchmarks/out/<name>.txt`` (the EXPERIMENTS.md source data)."""
+    ``benchmarks/out/<name>.txt`` (the EXPERIMENTS.md source data).
+
+    The file is written atomically (tmp file + ``os.replace``) so an
+    interrupted benchmark never leaves a truncated results file behind.
+    """
     text = "\n".join(lines)
     print(f"\n===== {name} =====\n{text}\n", flush=True)
     os.makedirs(_OUT_DIR, exist_ok=True)
-    with open(os.path.join(_OUT_DIR, f"{name}.txt"), "w") as f:
-        f.write(text + "\n")
+    fd, tmp = tempfile.mkstemp(dir=_OUT_DIR, prefix=f".{name}.", suffix=".tmp")
+    try:
+        with os.fdopen(fd, "w") as f:
+            f.write(text + "\n")
+        os.replace(tmp, os.path.join(_OUT_DIR, f"{name}.txt"))
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
 
 
 # ----------------------------------------------------------------------

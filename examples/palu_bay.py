@@ -43,7 +43,8 @@ def rupture_speed_along_strike(fault, y_min=-3000.0, y_max=3000.0):
     return float(abs(slope))
 
 
-def main(t_end: float = 4.0):
+def main(t_end: float = 4.0, checkpoint_every: float | None = None,
+         checkpoint_dir: str | None = None, resume: str | None = None):
     cfg = PaluConfig()
     solver, fault = build_coupled(cfg)
     print(f"mesh: {solver.mesh.n_elements} elements "
@@ -53,9 +54,25 @@ def main(t_end: float = 4.0):
     st = lts.statistics()
     print(f"LTS clusters {[int(c) for c in st['counts']]}, update reduction {st['speedup']:.2f}x")
 
+    runner = None
+    if checkpoint_every or checkpoint_dir or resume:
+        from repro.core.resilience import ResilientRunner
+
+        runner = ResilientRunner(
+            solver, lts=lts,
+            checkpoint_every=checkpoint_every, checkpoint_dir=checkpoint_dir,
+        )
+        if resume:
+            runner.resume(resume)
+
     checkpoints = np.linspace(t_end / 4, t_end, 4)
     for tc in checkpoints:
-        lts.run(tc)
+        if tc <= solver.t:
+            continue  # already covered by the restored checkpoint
+        if runner is not None:
+            runner.run(tc)
+        else:
+            lts.run(tc)
         vr = rupture_speed_along_strike(fault)
         print(f"t = {tc:4.1f} s | ruptured {fault.ruptured_fraction() * 100:5.1f}% | "
               f"peak V {fault.peak_slip_rate.max():6.2f} m/s | "
@@ -86,5 +103,10 @@ def main(t_end: float = 4.0):
 if __name__ == "__main__":
     ap = argparse.ArgumentParser()
     ap.add_argument("--t-end", type=float, default=4.0)
+    ap.add_argument("--checkpoint-every", type=float, default=None,
+                    help="simulated seconds between checkpoints")
+    ap.add_argument("--checkpoint-dir", default=None)
+    ap.add_argument("--resume", default=None,
+                    help="checkpoint file or directory to resume from")
     args = ap.parse_args()
-    main(args.t_end)
+    main(args.t_end, args.checkpoint_every, args.checkpoint_dir, args.resume)

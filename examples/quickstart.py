@@ -7,8 +7,16 @@ and watches the ocean respond: the fast acoustic wave arrives first, the
 sea surface bulges, and a slow surface gravity wave remains — the
 separation of scales at the heart of the paper.
 
+Long runs can checkpoint and resume (see README "Long runs: checkpointing
+& recovery"):
+
+    python examples/quickstart.py --checkpoint-every 0.5 --checkpoint-dir out/ckpt
+    python examples/quickstart.py --resume out/ckpt --t-end 4.0
+
 Run:  python examples/quickstart.py
 """
+
+import argparse
 
 import numpy as np
 
@@ -18,7 +26,8 @@ from repro.core.solver import CoupledSolver, PointSource, ocean_surface_gravity_
 from repro.mesh.generators import layered_ocean_mesh
 
 
-def main():
+def main(t_end: float = 2.5, checkpoint_every: float | None = None,
+         checkpoint_dir: str | None = None, resume: str | None = None):
     # --- domain: 4 x 4 km, 1.5 km of crust under a 500 m ocean ----------
     crust = elastic(rho=2700.0, cp=4000.0, cs=2300.0)
     ocean = acoustic(rho=1000.0, cp=1500.0)
@@ -51,7 +60,6 @@ def main():
     )
 
     # --- run -------------------------------------------------------------
-    t_end = 2.5
     print(f"running to t = {t_end} s ...")
     eta_peak = {"max": 0.0}
 
@@ -59,7 +67,17 @@ def main():
         receivers(s)
         eta_peak["max"] = max(eta_peak["max"], float(np.abs(s.gravity.eta).max()))
 
-    solver.run(t_end, callback=watch)
+    if checkpoint_every or checkpoint_dir or resume:
+        from repro.core.resilience import ResilientRunner
+
+        runner = ResilientRunner(
+            solver, checkpoint_every=checkpoint_every, checkpoint_dir=checkpoint_dir
+        )
+        if resume:
+            runner.resume(resume)
+        runner.run(t_end, callback=watch)
+    else:
+        solver.run(t_end, callback=watch)
 
     # --- report ----------------------------------------------------------
     p = receivers.pressure()
@@ -76,4 +94,12 @@ def main():
 
 
 if __name__ == "__main__":
-    main()
+    ap = argparse.ArgumentParser()
+    ap.add_argument("--t-end", type=float, default=2.5)
+    ap.add_argument("--checkpoint-every", type=float, default=None,
+                    help="simulated seconds between checkpoints")
+    ap.add_argument("--checkpoint-dir", default=None)
+    ap.add_argument("--resume", default=None,
+                    help="checkpoint file or directory to resume from")
+    args = ap.parse_args()
+    main(args.t_end, args.checkpoint_every, args.checkpoint_dir, args.resume)

@@ -29,7 +29,9 @@ from repro.scenarios.scenario_a import (
 )
 
 
-def main(t_end: float = 6.0, n_transect: int = 41):
+def main(t_end: float = 6.0, n_transect: int = 41,
+         checkpoint_every: float | None = None,
+         checkpoint_dir: str | None = None, resume: str | None = None):
     cfg = ScenarioAConfig()
 
     # --- fully coupled run ----------------------------------------------
@@ -40,7 +42,18 @@ def main(t_end: float = 6.0, n_transect: int = 41):
     lts = LocalTimeStepping(solver)
     print(f"  LTS clusters: {np.bincount(lts.cluster)} "
           f"(update reduction {lts.statistics()['speedup']:.2f}x)")
-    lts.run(t_end)
+    if checkpoint_every or checkpoint_dir or resume:
+        from repro.core.resilience import ResilientRunner
+
+        runner = ResilientRunner(
+            solver, lts=lts,
+            checkpoint_every=checkpoint_every, checkpoint_dir=checkpoint_dir,
+        )
+        if resume:
+            runner.resume(resume)
+        runner.run(t_end)
+    else:
+        lts.run(t_end)
     print(f"  rupture: Mw {fault.moment_magnitude():.2f}, "
           f"peak slip {fault.slip.max():.2f} m, "
           f"peak slip rate {fault.peak_slip_rate.max():.1f} m/s")
@@ -85,5 +98,11 @@ def main(t_end: float = 6.0, n_transect: int = 41):
 if __name__ == "__main__":
     ap = argparse.ArgumentParser()
     ap.add_argument("--t-end", type=float, default=6.0)
+    ap.add_argument("--checkpoint-every", type=float, default=None,
+                    help="simulated seconds between checkpoints")
+    ap.add_argument("--checkpoint-dir", default=None)
+    ap.add_argument("--resume", default=None,
+                    help="checkpoint file or directory to resume from")
     args = ap.parse_args()
-    main(args.t_end)
+    main(args.t_end, checkpoint_every=args.checkpoint_every,
+         checkpoint_dir=args.checkpoint_dir, resume=args.resume)

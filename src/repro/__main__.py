@@ -14,6 +14,14 @@ Commands
     Strong-scaling study on the simulated machines (Fig. 6).
 ``acoustics``
     Acoustic + gravity wave dispersion demonstration.
+
+The simulation commands (``quickstart``, ``scenario-a``, ``palu``) accept
+the resilience options ``--checkpoint-every S`` (simulated seconds between
+atomic on-disk checkpoints), ``--checkpoint-dir DIR``, and ``--resume
+[PATH]`` (restart from a checkpoint file, or the newest checkpoint in a
+directory).  Checkpointed runs are supervised: a NaN/energy/CFL watchdog
+triggers rollback to the last snapshot with timestep backoff instead of
+silently corrupting the run.
 """
 
 from __future__ import annotations
@@ -27,12 +35,31 @@ def main(argv=None) -> int:
         prog="repro", description="3D acoustic-elastic coupling with gravity (SC'21 reproduction)"
     )
     sub = ap.add_subparsers(dest="command")
+
+    def add_resilience_args(p):
+        p.add_argument(
+            "--checkpoint-every", type=float, default=None, metavar="S",
+            help="write an atomic checkpoint every S simulated seconds",
+        )
+        p.add_argument(
+            "--checkpoint-dir", default=None, metavar="DIR",
+            help="directory for rotating checkpoints (enables the watchdog)",
+        )
+        p.add_argument(
+            "--resume", default=None, metavar="PATH",
+            help="resume from a checkpoint file or the newest one in a directory",
+        )
+
     sub.add_parser("info", help="version and subsystem summary")
-    sub.add_parser("quickstart", help="coupled Earth-ocean quickstart")
+    p_q = sub.add_parser("quickstart", help="coupled Earth-ocean quickstart")
+    p_q.add_argument("--t-end", type=float, default=2.5)
+    add_resilience_args(p_q)
     p_a = sub.add_parser("scenario-a", help="Scenario-A coupled vs linked (Fig. 3)")
     p_a.add_argument("--t-end", type=float, default=6.0)
+    add_resilience_args(p_a)
     p_p = sub.add_parser("palu", help="Palu supershear scenario (Fig. 1)")
     p_p.add_argument("--t-end", type=float, default=4.0)
+    add_resilience_args(p_p)
     sub.add_parser("scaling", help="strong scaling on simulated machines (Fig. 6)")
     sub.add_parser("acoustics", help="acoustic/gravity dispersion demo")
     args = ap.parse_args(argv)
@@ -60,15 +87,16 @@ def main(argv=None) -> int:
     if args.command == "quickstart":
         from quickstart import main as run
 
-        run()
+        run(args.t_end, args.checkpoint_every, args.checkpoint_dir, args.resume)
     elif args.command == "scenario-a":
         from scenario_a_benchmark import main as run
 
-        run(args.t_end)
+        run(args.t_end, checkpoint_every=args.checkpoint_every,
+            checkpoint_dir=args.checkpoint_dir, resume=args.resume)
     elif args.command == "palu":
         from palu_bay import main as run
 
-        run(args.t_end)
+        run(args.t_end, args.checkpoint_every, args.checkpoint_dir, args.resume)
     elif args.command == "scaling":
         from scaling_study import main as run
 

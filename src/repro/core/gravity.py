@@ -212,6 +212,19 @@ class GravityBoundary:
         )
 
     # ------------------------------------------------------------------
+    def state_dict(self) -> dict:
+        """Time-marching state for checkpointing (:mod:`repro.io.checkpoint`)."""
+        return {"eta": self.eta.copy()}
+
+    def load_state(self, state: dict) -> None:
+        eta = np.asarray(state["eta"])
+        if eta.shape != self.eta.shape:
+            raise ValueError(
+                f"gravity state has shape {eta.shape}, expected {self.eta.shape}"
+            )
+        self.eta = eta.astype(self.eta.dtype, copy=True)
+
+    # ------------------------------------------------------------------
     def surface_height(self) -> tuple[np.ndarray, np.ndarray]:
         """Mean sea-surface height per gravity face.
 

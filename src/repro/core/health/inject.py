@@ -1,0 +1,118 @@
+"""Deterministic fault injection: test the recovery path, not just write it.
+
+A :class:`FaultInjector` is handed to
+:class:`~repro.core.resilience.ResilientRunner` and fires scripted faults
+at exact step numbers of the supervised run:
+
+* :meth:`corrupt_state` — poison a chosen entry of the modal state ``Q``,
+  the sea-surface ``eta``, or the fault state ``psi`` (NaN by default);
+* :meth:`inflate_dt` — multiply the timestep about to be taken, driving it
+  past the CFL bound;
+* :meth:`fail_io` — make the next ``count`` checkpoint writes raise
+  :class:`InjectedIOError`, exercising the atomic-write / keep-previous
+  guarantees.
+
+Actions are *one-shot by default*: after a rollback replays the same step
+numbers, a consumed action does not re-fire, so the run recovers.  Pass
+``persistent=True`` to re-fire on every attempt and drive the supervisor
+into retry exhaustion (:class:`~repro.core.health.SimulationDiverged`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["FaultInjector", "InjectedIOError"]
+
+
+class InjectedIOError(OSError):
+    """I/O failure raised by an armed :meth:`FaultInjector.fail_io` action."""
+
+
+@dataclass
+class _Action:
+    at_step: int
+    kind: str  # "state" | "dt" | "io"
+    target: str = "Q"
+    value: float = float("nan")
+    index: int = 0
+    factor: float = 64.0
+    count: int = 1
+    persistent: bool = False
+    fired: int = 0
+
+
+class FaultInjector:
+    """Scripted, step-exact fault injection for the resilience supervisor."""
+
+    def __init__(self):
+        self._actions: list[_Action] = []
+        #: chronological record of fired actions: ``(step, kind, target)``
+        self.log: list[tuple] = []
+
+    # -- scripting -------------------------------------------------------
+    def corrupt_state(self, at_step: int, target: str = "Q",
+                      value: float = float("nan"), index: int = 0,
+                      persistent: bool = False) -> "FaultInjector":
+        """Overwrite one entry of ``target`` (``"Q"``/``"eta"``/``"psi"``)
+        just before step ``at_step`` executes."""
+        if target not in ("Q", "eta", "psi"):
+            raise ValueError(f"unknown corruption target {target!r}")
+        self._actions.append(_Action(at_step, "state", target=target,
+                                     value=value, index=index,
+                                     persistent=persistent))
+        return self
+
+    def inflate_dt(self, at_step: int, factor: float = 64.0,
+                   persistent: bool = False) -> "FaultInjector":
+        """Multiply the timestep of step ``at_step`` by ``factor``."""
+        self._actions.append(_Action(at_step, "dt", factor=factor,
+                                     persistent=persistent))
+        return self
+
+    def fail_io(self, at_step: int, count: int = 1) -> "FaultInjector":
+        """Raise :class:`InjectedIOError` on the next ``count`` checkpoint
+        writes attempted at or after step ``at_step``."""
+        self._actions.append(_Action(at_step, "io", count=count))
+        return self
+
+    # -- hooks called by the supervisor ---------------------------------
+    def _due(self, a: _Action, step: int) -> bool:
+        if a.kind == "io":
+            return step >= a.at_step and a.fired < a.count
+        return step == a.at_step and (a.persistent or a.fired == 0)
+
+    def on_step(self, solver, step: int) -> float:
+        """Apply state corruptions due at ``step``; return the dt factor."""
+        dt_factor = 1.0
+        for a in self._actions:
+            if a.kind == "state" and self._due(a, step):
+                if a.target == "Q":
+                    solver.Q.flat[a.index] = a.value
+                elif a.target == "eta":
+                    if not len(solver.gravity):
+                        raise ValueError("cannot corrupt eta: no gravity faces")
+                    solver.gravity.eta.flat[a.index] = a.value
+                else:  # psi
+                    if solver.fault is None:
+                        raise ValueError("cannot corrupt psi: no fault attached")
+                    solver.fault.psi.flat[a.index] = a.value
+                a.fired += 1
+                self.log.append((step, "state", a.target))
+            elif a.kind == "dt" and self._due(a, step):
+                dt_factor *= a.factor
+                a.fired += 1
+                self.log.append((step, "dt", f"x{a.factor:g}"))
+        return dt_factor
+
+    def io_gate(self, step: int) -> None:
+        """Called before a checkpoint write; raises if an io fault is armed."""
+        for a in self._actions:
+            if a.kind == "io" and self._due(a, step):
+                a.fired += 1
+                self.log.append((step, "io", "checkpoint write failed"))
+                raise InjectedIOError(
+                    f"injected checkpoint I/O failure at step {step}"
+                )

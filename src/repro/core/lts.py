@@ -131,17 +131,22 @@ class LocalTimeStepping:
         return lts_statistics(self.cluster, self.rate)
 
     # ------------------------------------------------------------------
-    def run(self, t_end: float, callback=None) -> None:
+    def run(self, t_end: float, callback=None, dt_scale: float = 1.0) -> None:
         """Advance all clusters to exactly ``t_end``.
 
         ``dt_min`` is shrunk slightly so that the macro timestep divides the
         remaining time (keeps the rate-2 synchronization invariants intact).
         ``callback(solver)`` fires at every macro-step synchronization point
         (all clusters aligned), with ``solver.t`` set to that time.
+        ``dt_scale`` (in (0, 1]) uniformly shrinks every cluster timestep —
+        the hook :class:`~repro.core.resilience.ResilientRunner` uses for
+        dt-backoff recovery.
         """
+        if not 0.0 < dt_scale <= 1.0:
+            raise ValueError("dt_scale must be in (0, 1]")
         solver = self.solver
         rate, cmax = self.rate, self.cmax
-        dt_macro = self.dt_min * rate**cmax
+        dt_macro = self.dt_min * dt_scale * rate**cmax
         span = t_end - solver.t
         if span <= 0:
             return

@@ -1,0 +1,272 @@
+"""Supervised time integration: rollback + dt-backoff + checkpointing.
+
+:class:`ResilientRunner` wraps :meth:`CoupledSolver.run` (global
+time-stepping) or :class:`~repro.core.lts.LocalTimeStepping` (clustered
+LTS) with the production-run survival loop the paper's SeisSol setups get
+from their HPC stack:
+
+1. the run is split into *segments* of ``checkpoint_every`` simulated
+   seconds (or a single segment when not set);
+2. an in-memory snapshot is taken at every segment boundary, and — when a
+   checkpoint directory is configured — an atomic on-disk checkpoint is
+   written (:mod:`repro.io.checkpoint`);
+3. a :class:`~repro.core.health.Watchdog` scans the state after every step
+   (GTS) or LTS macro-step synchronization point;
+4. on a watchdog trip the segment is rolled back to its snapshot and
+   retried with the timestep halved (bounded backoff); once a segment
+   completes cleanly the scale relaxes back toward 1;
+5. when ``max_retries`` rollbacks cannot stabilize a segment, a structured
+   :class:`~repro.core.health.SimulationDiverged` is raised with the full
+   failure history instead of silently writing NaNs to disk.
+
+With the default scale of 1 and no failures, the runner reproduces the
+plain ``run`` trajectories bit for bit — and a run resumed from a segment
+checkpoint matches the uninterrupted run exactly (asserted by the tests).
+"""
+
+from __future__ import annotations
+
+import os
+import warnings
+
+from ..io.checkpoint import (
+    CheckpointError,
+    CheckpointManager,
+    capture_state,
+    latest_checkpoint,
+    restore_checkpoint,
+    restore_state,
+)
+from .health import HealthError, SimulationDiverged, Watchdog
+
+__all__ = ["ResilientRunner"]
+
+
+class ResilientRunner:
+    """Supervisor for long :class:`CoupledSolver` / LTS runs.
+
+    Parameters
+    ----------
+    solver:
+        The coupled solver to supervise.
+    lts:
+        Optional :class:`~repro.core.lts.LocalTimeStepping` wrapping the
+        same solver; when given, segments advance with LTS and health is
+        checked at macro-step synchronization points.
+    watchdog:
+        A preconfigured :class:`Watchdog`; by default one is created with
+        ``energy_mode="auto"``.
+    checkpoint_every:
+        Segment length in *simulated* seconds.  ``None`` runs each
+        ``run()`` call as a single segment (still with rollback).
+    checkpoint_dir:
+        Directory for rotating on-disk checkpoints; ``None`` keeps
+        snapshots in memory only.
+    max_retries:
+        Rollback attempts per segment before giving up.
+    backoff:
+        Timestep multiplier applied on each rollback (0 < backoff < 1).
+    injector:
+        Optional :class:`~repro.core.health.inject.FaultInjector` for
+        deterministic failure testing.
+    """
+
+    def __init__(
+        self,
+        solver,
+        lts=None,
+        watchdog: Watchdog | None = None,
+        checkpoint_every: float | None = None,
+        checkpoint_dir: str | None = None,
+        keep: int = 3,
+        max_retries: int = 4,
+        backoff: float = 0.5,
+        injector=None,
+        verbose: bool = True,
+    ):
+        if lts is not None and lts.solver is not solver:
+            raise ValueError("lts wraps a different solver instance")
+        if checkpoint_every is not None and checkpoint_every <= 0:
+            raise ValueError("checkpoint_every must be positive (seconds)")
+        if not 0.0 < backoff < 1.0:
+            raise ValueError("backoff must be in (0, 1)")
+        self.solver = solver
+        self.lts = lts
+        self.watchdog = watchdog if watchdog is not None else Watchdog(solver)
+        self.checkpoint_every = checkpoint_every
+        self.max_retries = max_retries
+        self.backoff = backoff
+        self.injector = injector
+        self.verbose = verbose
+        self.manager = (
+            CheckpointManager(checkpoint_dir, solver, lts, keep=keep)
+            if checkpoint_dir
+            else None
+        )
+        #: completed fine steps (GTS) or macro synchronizations (LTS)
+        self.step_count = 0
+        #: current timestep multiplier, halved on rollback, relaxed on success
+        self.dt_scale = 1.0
+        #: total rollbacks performed over the runner's lifetime
+        self.rollbacks = 0
+        #: checkpoint paths written, in order
+        self.checkpoints_written: list = []
+
+    # ------------------------------------------------------------------
+    def resume(self, path: str | None = None, strict: bool = True) -> dict:
+        """Restore the solver from a checkpoint file or directory.
+
+        ``path`` may be a checkpoint file, a directory to scan for the
+        newest checkpoint, or ``None`` to use the configured checkpoint
+        directory.  Returns the checkpoint metadata.
+        """
+        if path is None:
+            if self.manager is None:
+                raise CheckpointError(
+                    "no checkpoint path given and no checkpoint_dir configured"
+                )
+            path = self.manager.latest()
+            if path is None:
+                raise CheckpointError(
+                    f"no checkpoints found in {self.manager.directory!r}"
+                )
+        elif os.path.isdir(path):
+            found = latest_checkpoint(path)
+            if found is None:
+                raise CheckpointError(f"no checkpoints found in {path!r}")
+            path = found
+        meta = restore_checkpoint(path, self.solver, self.lts, strict=strict)
+        try:
+            self.step_count = int(float(meta.get("step", 0)))
+        except (TypeError, ValueError):
+            self.step_count = 0
+        self.watchdog.reset()
+        if self.verbose:
+            print(
+                f"[resilience] resumed from {path} at t={self.solver.t:.6g} "
+                f"(step {self.step_count})"
+            )
+        return meta
+
+    # ------------------------------------------------------------------
+    def run(self, t_end: float, callback=None) -> None:
+        """Advance to ``t_end`` under supervision (see class docstring)."""
+        solver = self.solver
+        eps = 1e-12 * max(abs(t_end), 1.0)
+        snap = self._snapshot()
+        while solver.t < t_end - eps:
+            if self.checkpoint_every is not None:
+                target = min(solver.t + self.checkpoint_every, t_end)
+                if t_end - target < eps:
+                    target = t_end
+            else:
+                target = t_end
+            attempts = 0
+            reports = []
+            while True:
+                try:
+                    self._advance(target, callback)
+                    break
+                except HealthError as err:
+                    attempts += 1
+                    self.rollbacks += 1
+                    reports.append(err.report)
+                    if attempts > self.max_retries:
+                        raise SimulationDiverged(
+                            t=err.report.t,
+                            step=err.report.step,
+                            attempts=attempts,
+                            dt_scale=self.dt_scale,
+                            reports=reports,
+                        ) from err
+                    self._rollback(snap)
+                    self.dt_scale = (
+                        min(self.dt_scale, snap["dt_scale"]) * self.backoff
+                    )
+                    if self.verbose:
+                        print(
+                            f"[resilience] {err.report.describe()} — rolled "
+                            f"back to t={solver.t:.6g}, retry {attempts}/"
+                            f"{self.max_retries} with dt scale "
+                            f"{self.dt_scale:.3g}"
+                        )
+            # healthy segment: relax the backoff and persist
+            self.dt_scale = min(1.0, self.dt_scale / self.backoff)
+            snap = self._snapshot()
+            self._write_checkpoint()
+
+    # ------------------------------------------------------------------
+    def _advance(self, target: float, callback) -> None:
+        if self.lts is not None:
+            self._advance_lts(target, callback)
+        else:
+            self._advance_gts(target, callback)
+
+    def _advance_gts(self, target: float, callback) -> None:
+        solver = self.solver
+        eps = 1e-12 * max(abs(target), 1.0)
+        while solver.t < target - eps:
+            factor = (
+                self.injector.on_step(solver, self.step_count)
+                if self.injector is not None
+                else 1.0
+            )
+            dt_nominal = solver.dt * self.dt_scale * factor
+            solver.step(min(dt_nominal, target - solver.t))
+            self.step_count += 1
+            self.watchdog.ensure(dt=dt_nominal, step=self.step_count)
+            if callback is not None:
+                callback(solver)
+
+    def _advance_lts(self, target: float, callback) -> None:
+        lts = self.lts
+
+        def sync(s):
+            factor = (
+                self.injector.on_step(s, self.step_count)
+                if self.injector is not None
+                else 1.0
+            )
+            self.step_count += 1
+            self.watchdog.ensure(
+                dt=lts.dt_min * self.dt_scale * factor, step=self.step_count
+            )
+            if callback is not None:
+                callback(s)
+
+        lts.run(target, callback=sync, dt_scale=self.dt_scale)
+
+    # ------------------------------------------------------------------
+    def _snapshot(self) -> dict:
+        return {
+            "state": capture_state(self.solver, self.lts),
+            "watchdog": self.watchdog.snapshot(),
+            "step": self.step_count,
+            "dt_scale": self.dt_scale,
+        }
+
+    def _rollback(self, snap: dict) -> None:
+        restore_state(self.solver, snap["state"], self.lts)
+        self.watchdog.restore(snap["watchdog"])
+        self.step_count = snap["step"]
+
+    def _write_checkpoint(self) -> None:
+        if self.manager is None:
+            return
+        try:
+            if self.injector is not None:
+                self.injector.io_gate(self.step_count)
+            path = self.manager.save(
+                self.step_count, metadata={"dt_scale": self.dt_scale}
+            )
+        except OSError as exc:
+            # a failed write must never kill a healthy run: the previous
+            # checkpoint is still intact (atomic publish), so just warn
+            warnings.warn(
+                f"checkpoint write failed at step {self.step_count}: {exc}; "
+                "continuing — the previous checkpoint remains valid",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+        else:
+            self.checkpoints_written.append(path)

@@ -93,6 +93,8 @@ class PointSource:
         self._phi = None
 
     def bind(self, solver: "CoupledSolver") -> None:
+        from .quadrature import gauss_legendre_01
+
         mesh = solver.mesh
         elem = mesh.locate(self.position[None])[0]
         if elem < 0:
@@ -104,14 +106,51 @@ class PointSource:
         rho = mesh.element_material(self._elem).rho
         self._amp = self.amplitude.copy()
         self._amp[6:] /= rho
+        # the time-quadrature rule is fixed: resolve it once, not per step
+        self._tq, self._wq = gauss_legendre_01(6)
+        self._phi_amp = np.outer(self._phi, self._amp)
 
     def add(self, out: np.ndarray, t0: float, dt: float) -> None:
         """Accumulate the time-integrated source into the residual."""
-        from .quadrature import gauss_legendre_01
+        s_int = dt * sum(w * self.stf(t0 + dt * t) for t, w in zip(self._tq, self._wq))
+        out[self._elem] += s_int * self._phi_amp
 
-        tq, wq = gauss_legendre_01(6)
-        s_int = dt * sum(w * self.stf(t0 + dt * t) for t, w in zip(tq, wq))
-        out[self._elem] += s_int * np.outer(self._phi, self._amp)
+
+#: face kinds a *boundary* face may legally carry (INTERIOR and FAULT are
+#: interior-face concepts; anything else is a tagger bug)
+_VALID_BOUNDARY_KINDS = frozenset(
+    k.value
+    for k in (
+        FaceKind.FREE_SURFACE,
+        FaceKind.GRAVITY_FREE_SURFACE,
+        FaceKind.ABSORBING,
+        FaceKind.WALL,
+        FaceKind.PRESCRIBED_MOTION,
+    )
+)
+
+
+def _validate_mesh_inputs(mesh) -> None:
+    """Fail fast on inputs that would otherwise surface as downstream NaNs."""
+    for i, mat in enumerate(mesh.materials):
+        vals = (mat.rho, mat.lam, mat.mu)
+        if not all(np.isfinite(v) for v in vals):
+            raise ValueError(
+                f"material {i} has non-finite parameters "
+                f"(rho={mat.rho!r}, lam={mat.lam!r}, mu={mat.mu!r}); every "
+                "material must have finite rho/lam/mu"
+            )
+    kinds = np.asarray(mesh.boundary.kind)
+    bad = ~np.isin(kinds, list(_VALID_BOUNDARY_KINDS))
+    if bad.any():
+        offending = sorted(int(k) for k in np.unique(kinds[bad]))
+        raise ValueError(
+            f"{int(bad.sum())} boundary faces carry invalid or untagged face "
+            f"kinds {offending} (valid: "
+            f"{sorted(_VALID_BOUNDARY_KINDS)}); call mesh.tag_boundary(...) "
+            "with a tagger returning a boundary FaceKind for every face "
+            "before constructing the solver"
+        )
 
 
 class CoupledSolver:
@@ -143,6 +182,7 @@ class CoupledSolver:
         flux_variant: str = "exact",
         gravity_eta_velocity: str = "middle",
     ):
+        _validate_mesh_inputs(mesh)
         self.mesh = mesh
         self.order = order
         self.op = SpatialOperator(mesh, order, gravity_g, flux_variant=flux_variant)
@@ -150,6 +190,14 @@ class CoupledSolver:
         self.t = 0.0
         self.cfl_safety = cfl_safety
         self.dt_elem = element_timesteps(mesh, order, cfl_safety)
+        if not np.isfinite(self.dt_elem).all() or self.dt_elem.min() <= 0:
+            worst = int(np.argmin(np.where(np.isfinite(self.dt_elem), self.dt_elem, -np.inf)))
+            raise ValueError(
+                f"mesh yields a non-positive or non-finite CFL timestep "
+                f"(dt_elem.min() = {self.dt_elem.min()!r}, e.g. element {worst} with "
+                f"insphere diameter {mesh.insphere_diameter[worst]!r}); the mesh "
+                "contains degenerate (sliver) elements — repair it before solving"
+            )
         self.dt = float(self.dt_elem.min())
         self.gravity = GravityBoundary(
             self.op, gravity_g, integrator=gravity_integrator, eta_velocity=gravity_eta_velocity

@@ -1,0 +1,338 @@
+"""Versioned, atomic solver checkpoints for long-running simulations.
+
+The paper's production runs (SeisSol on SuperMUC-NG / Frontera, Sec. 5-6)
+survive multi-hour executions only because the surrounding HPC stack
+provides restart files; this module is the reproduction's equivalent.  A
+checkpoint captures the *complete* time-marching state of a
+:class:`~repro.core.solver.CoupledSolver` (modal coefficients ``Q``,
+simulation time, gravitational sea-surface state, dynamic-rupture fault
+state, LTS bookkeeping) as a single ``.npz`` archive:
+
+* **atomic** — written to a temporary file in the target directory and
+  published with :func:`os.replace`, so a crash mid-write never leaves a
+  truncated archive that a later resume would trip over;
+* **versioned** — a format version is embedded and checked on load;
+* **fingerprinted** — a SHA-256 digest of everything that defines the
+  discrete problem (mesh geometry and topology, material table, boundary
+  tags, fault faces, polynomial order, CFL safety, gravity constant) is
+  stored alongside the state.  Restoring into a solver whose fingerprint
+  differs raises :class:`CheckpointError` instead of silently loading a
+  stale or foreign state.
+
+Checkpoints taken at LTS macro-step synchronization points (where all
+cluster clocks align) are exact: resuming reproduces the uninterrupted
+run bit for bit, which the test suite asserts.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import re
+import tempfile
+
+import numpy as np
+
+__all__ = [
+    "CheckpointError",
+    "CHECKPOINT_VERSION",
+    "fingerprint",
+    "capture_state",
+    "restore_state",
+    "save_checkpoint",
+    "load_checkpoint",
+    "restore_checkpoint",
+    "latest_checkpoint",
+    "CheckpointManager",
+]
+
+#: On-disk format version; bumped whenever the key layout changes.
+CHECKPOINT_VERSION = 1
+
+
+class CheckpointError(RuntimeError):
+    """A checkpoint could not be written, read, or applied to a solver."""
+
+
+# ----------------------------------------------------------------------
+def fingerprint(solver) -> str:
+    """SHA-256 digest of the discrete problem a solver state belongs to.
+
+    Covers mesh geometry/topology, the material table, boundary tags,
+    fault-face marks, polynomial order, CFL safety and the gravitational
+    constant — everything that must match for a saved state to be
+    meaningful.  Deliberately excludes run-time knobs (integrator choice,
+    flux variant) that do not change the meaning of ``Q``.
+    """
+    mesh = solver.mesh
+    h = hashlib.sha256()
+
+    def add(label: str, arr) -> None:
+        a = np.ascontiguousarray(arr)
+        h.update(label.encode())
+        h.update(str(a.dtype).encode())
+        h.update(str(a.shape).encode())
+        h.update(a.tobytes())
+
+    add("vertices", mesh.vertices)
+    add("tets", mesh.tets)
+    add("material_ids", mesh.material_ids)
+    add("materials", np.array([[m.rho, m.lam, m.mu] for m in mesh.materials]))
+    add("boundary_kind", mesh.boundary.kind)
+    add("fault_faces", mesh.interior.is_fault)
+    add("scalars", np.array([float(solver.order), solver.cfl_safety, solver.gravity.g]))
+    add("has_fault", np.array([solver.fault is not None]))
+    return h.hexdigest()
+
+
+# ----------------------------------------------------------------------
+def capture_state(solver, lts=None) -> dict:
+    """Deep-copy every time-marching array of ``solver`` into a flat dict.
+
+    The returned mapping is ``np.savez``-ready; it is also what
+    :class:`~repro.core.resilience.ResilientRunner` keeps in memory as its
+    rollback snapshot.
+    """
+    state = {
+        "t": np.float64(solver.t),
+        "Q": solver.Q.copy(),
+    }
+    if len(solver.gravity):
+        for name, arr in solver.gravity.state_dict().items():
+            state[f"gravity_{name}"] = arr
+    if solver.motion is not None:
+        state["motion_uplift"] = solver.motion.uplift.copy()
+    if solver.fault is not None:
+        for name, arr in solver.fault.state_dict().items():
+            state[f"fault_{name}"] = arr
+    if lts is not None:
+        state["lts_updates"] = lts.updates.copy()
+    return state
+
+
+def restore_state(solver, state: dict, lts=None) -> None:
+    """Apply a state dict produced by :func:`capture_state` to ``solver``.
+
+    Shape mismatches and missing components raise :class:`CheckpointError`
+    with an explanation rather than corrupting the solver.
+    """
+
+    def take(key: str, like: np.ndarray) -> np.ndarray:
+        if key not in state:
+            raise CheckpointError(
+                f"checkpoint lacks required field {key!r}; it was saved from a "
+                "solver with a different configuration"
+            )
+        arr = np.asarray(state[key])
+        if arr.shape != like.shape:
+            raise CheckpointError(
+                f"checkpoint field {key!r} has shape {arr.shape}, solver expects "
+                f"{like.shape}; the mesh or order does not match"
+            )
+        return arr.astype(like.dtype, copy=True)
+
+    def component_state(prefix: str, fields) -> dict:
+        sub = {}
+        for name in fields:
+            key = f"{prefix}_{name}"
+            if key not in state:
+                raise CheckpointError(
+                    f"checkpoint lacks required field {key!r}; it was saved "
+                    "from a solver with a different configuration"
+                )
+            sub[name] = np.asarray(state[key])
+        return sub
+
+    Q = take("Q", solver.Q)
+    t = float(np.asarray(state.get("t", np.nan)))
+    if not np.isfinite(t):
+        raise CheckpointError("checkpoint lacks a finite simulation time 't'")
+
+    eta = None
+    if len(solver.gravity):
+        eta = component_state("gravity", ("eta",))
+    uplift = None
+    if solver.motion is not None:
+        uplift = take("motion_uplift", solver.motion.uplift)
+    fault_state = None
+    if solver.fault is not None:
+        fault_state = component_state("fault", solver.fault.STATE_FIELDS)
+    elif any(k.startswith("fault_") for k in state):
+        raise CheckpointError(
+            "checkpoint contains dynamic-rupture fault state but the solver has "
+            "no fault attached"
+        )
+
+    try:
+        if eta is not None:
+            solver.gravity.load_state(eta)
+        if fault_state is not None:
+            solver.fault.load_state(fault_state)
+    except ValueError as exc:
+        raise CheckpointError(str(exc)) from exc
+    solver.Q = Q
+    solver.t = t
+    if uplift is not None:
+        solver.motion.uplift = uplift
+    if lts is not None and "lts_updates" in state:
+        upd = np.asarray(state["lts_updates"])
+        if upd.shape == lts.updates.shape:
+            lts.updates = upd.astype(lts.updates.dtype, copy=True)
+
+
+# ----------------------------------------------------------------------
+def save_checkpoint(path: str, solver, lts=None, metadata: dict | None = None) -> str:
+    """Atomically write a checkpoint of ``solver`` (and optional ``lts``).
+
+    The archive is first written to a temporary file in the destination
+    directory and then published with :func:`os.replace`, so readers only
+    ever see complete checkpoints.  Returns the final path.
+    """
+    if not path.endswith(".npz"):
+        path = path + ".npz"
+    arrays = capture_state(solver, lts)
+    arrays["version"] = np.int64(CHECKPOINT_VERSION)
+    arrays["fingerprint"] = np.array(fingerprint(solver))
+    meta_keys, meta_vals = [], []
+    for k, v in (metadata or {}).items():
+        meta_keys.append(str(k))
+        meta_vals.append(str(v))
+    arrays["meta_keys"] = np.asarray(meta_keys)
+    arrays["meta_vals"] = np.asarray(meta_vals)
+
+    directory = os.path.dirname(os.path.abspath(path)) or "."
+    os.makedirs(directory, exist_ok=True)
+    fd, tmp = tempfile.mkstemp(
+        dir=directory, prefix="." + os.path.basename(path) + ".", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, "wb") as f:
+            np.savez_compressed(f, **arrays)
+            f.flush()
+            os.fsync(f.fileno())
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+    return path
+
+
+def load_checkpoint(path: str) -> dict:
+    """Read a checkpoint archive.
+
+    Returns ``{"version", "fingerprint", "state", "metadata"}`` where
+    ``state`` is the dict :func:`restore_state` accepts.
+    """
+    try:
+        with np.load(path, allow_pickle=False) as d:
+            data = {k: d[k] for k in d.files}
+    except (OSError, ValueError) as exc:
+        raise CheckpointError(f"cannot read checkpoint {path!r}: {exc}") from exc
+    version = int(data.pop("version", -1))
+    if version < 1 or version > CHECKPOINT_VERSION:
+        raise CheckpointError(
+            f"checkpoint {path!r} has format version {version}; this build "
+            f"supports versions 1..{CHECKPOINT_VERSION}"
+        )
+    fp = str(data.pop("fingerprint", ""))
+    meta = dict(
+        zip(data.pop("meta_keys", np.array([])).tolist(),
+            data.pop("meta_vals", np.array([])).tolist())
+    )
+    return {"version": version, "fingerprint": fp, "state": data, "metadata": meta}
+
+
+def restore_checkpoint(path: str, solver, lts=None, strict: bool = True) -> dict:
+    """Load ``path`` and apply it to ``solver`` after a fingerprint check.
+
+    With ``strict=True`` (default) a fingerprint mismatch — a checkpoint
+    saved from a different mesh, material table, order, or boundary tagging
+    — raises :class:`CheckpointError` instead of silently restoring a
+    stale state.  Returns the checkpoint's metadata dict.
+    """
+    data = load_checkpoint(path)
+    if strict:
+        want = fingerprint(solver)
+        if data["fingerprint"] != want:
+            raise CheckpointError(
+                f"checkpoint {path!r} was saved from a different problem "
+                f"(fingerprint {data['fingerprint'][:12]}… != solver "
+                f"{want[:12]}…); refusing to restore. Rebuild the identical "
+                "mesh/config, or pass strict=False to override."
+            )
+    restore_state(solver, data["state"], lts)
+    return data["metadata"]
+
+
+# ----------------------------------------------------------------------
+_CKPT_RE = re.compile(r"^(?P<prefix>.+)_(?P<step>\d+)\.npz$")
+
+
+def latest_checkpoint(directory: str, prefix: str = "ckpt") -> str | None:
+    """Path of the highest-step ``<prefix>_<step>.npz`` in ``directory``."""
+    if not os.path.isdir(directory):
+        return None
+    best_step, best = -1, None
+    for name in os.listdir(directory):
+        m = _CKPT_RE.match(name)
+        if m and m.group("prefix") == prefix:
+            step = int(m.group("step"))
+            if step > best_step:
+                best_step, best = step, os.path.join(directory, name)
+    return best
+
+
+class CheckpointManager:
+    """Rotating on-disk checkpoints: ``<dir>/<prefix>_<step>.npz``.
+
+    Keeps the ``keep`` most recent archives; older ones are pruned after a
+    successful write (never before, so an interrupted save cannot reduce
+    the number of usable restart points).
+    """
+
+    def __init__(self, directory: str, solver, lts=None, keep: int = 3,
+                 prefix: str = "ckpt"):
+        if keep < 1:
+            raise ValueError("keep must be >= 1")
+        self.directory = directory
+        self.solver = solver
+        self.lts = lts
+        self.keep = keep
+        self.prefix = prefix
+
+    def path_for(self, step: int) -> str:
+        return os.path.join(self.directory, f"{self.prefix}_{step:010d}.npz")
+
+    def save(self, step: int, metadata: dict | None = None) -> str:
+        meta = {"step": step, "t": self.solver.t}
+        meta.update(metadata or {})
+        path = save_checkpoint(self.path_for(step), self.solver, self.lts, meta)
+        self._prune()
+        return path
+
+    def latest(self) -> str | None:
+        return latest_checkpoint(self.directory, self.prefix)
+
+    def restore_latest(self, strict: bool = True) -> dict | None:
+        """Restore the newest checkpoint; returns its metadata or ``None``."""
+        path = self.latest()
+        if path is None:
+            return None
+        return restore_checkpoint(path, self.solver, self.lts, strict=strict)
+
+    def _prune(self) -> None:
+        if not os.path.isdir(self.directory):
+            return
+        found = []
+        for name in os.listdir(self.directory):
+            m = _CKPT_RE.match(name)
+            if m and m.group("prefix") == self.prefix:
+                found.append((int(m.group("step")), name))
+        for _, name in sorted(found)[: -self.keep]:
+            try:
+                os.unlink(os.path.join(self.directory, name))
+            except OSError:
+                pass

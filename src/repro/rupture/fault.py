@@ -352,6 +352,41 @@ class FaultSolver:
             )
 
     # ------------------------------------------------------------------
+    #: the arrays that evolve during a run (everything else is set by bind)
+    STATE_FIELDS = (
+        "psi",
+        "slip",
+        "slip_s",
+        "slip_t",
+        "slip_rate",
+        "peak_slip_rate",
+        "rupture_time",
+    )
+
+    def state_dict(self) -> dict:
+        """Time-marching state for checkpointing (:mod:`repro.io.checkpoint`)."""
+        if not self._bound:
+            raise RuntimeError("FaultSolver.state_dict called before bind()")
+        return {name: getattr(self, name).copy() for name in self.STATE_FIELDS}
+
+    def load_state(self, state: dict) -> None:
+        if not self._bound:
+            raise RuntimeError("FaultSolver.load_state called before bind()")
+        staged = {}
+        for name in self.STATE_FIELDS:
+            arr = np.asarray(state[name])
+            cur = getattr(self, name)
+            if arr.shape != cur.shape:
+                raise ValueError(
+                    f"fault state {name!r} has shape {arr.shape}, expected "
+                    f"{cur.shape}"
+                )
+            staged[name] = arr.astype(cur.dtype, copy=True)
+        for name, arr in staged.items():
+            setattr(self, name, arr)
+        self.newton_iterations = []
+
+    # ------------------------------------------------------------------
     def moment(self) -> float:
         """Scalar seismic moment ``M0 = mu * integral(slip) dA``."""
         mats = self.op.mesh.materials

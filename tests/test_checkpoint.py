@@ -1,0 +1,212 @@
+"""Checkpoint/restart: atomic archives, fingerprinting, exact round-trips."""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.core.lts import LocalTimeStepping
+from repro.core.materials import acoustic, elastic
+from repro.core.resilience import ResilientRunner
+from repro.core.solver import CoupledSolver, PointSource, ocean_surface_gravity_tagger
+from repro.io.checkpoint import (
+    CheckpointError,
+    CheckpointManager,
+    capture_state,
+    latest_checkpoint,
+    load_checkpoint,
+    restore_checkpoint,
+    restore_state,
+    save_checkpoint,
+    fingerprint,
+)
+from repro.mesh.generators import layered_ocean_mesh
+from repro.rupture.fault import FaultSolver, Prestress
+from repro.rupture.friction import LinearSlipWeakening
+
+
+def build_gts(order=2):
+    """Small coupled Earth-ocean solver with a gravity surface and a source."""
+    crust = elastic(rho=2700.0, cp=4000.0, cs=2300.0)
+    ocean = acoustic(rho=1000.0, cp=1500.0)
+    xs = np.linspace(0.0, 2000.0, 4)
+    mesh = layered_ocean_mesh(
+        xs, xs,
+        zs_earth=np.linspace(-1500.0, -500.0, 3),
+        zs_ocean=np.linspace(-500.0, 0.0, 2),
+        earth=crust, ocean=ocean,
+    )
+    mesh.tag_boundary(ocean_surface_gravity_tagger(mesh))
+    solver = CoupledSolver(mesh, order=order)
+
+    def ricker(t):
+        a = (np.pi * 2.0 * (t - 0.3)) ** 2
+        return (1.0 - 2.0 * a) * np.exp(-a)
+
+    solver.add_source(
+        PointSource([1000.0, 1000.0, -900.0], ricker, moment=[5e12] * 3 + [0, 0, 0])
+    )
+    return solver
+
+
+def build_lts_fault_gravity():
+    """LTS setup with a rupturing fault under a gravity-topped ocean."""
+    crust = elastic(2700.0, 6000.0, 3464.0)
+    ocean = acoustic(1000.0, 1500.0)
+    xs = np.linspace(-1500.0, 1500.0, 5)
+    mesh = layered_ocean_mesh(
+        xs, xs,
+        zs_earth=np.linspace(-3000.0, -1000.0, 3),
+        zs_ocean=np.linspace(-1000.0, 0.0, 2),
+        earth=crust, ocean=ocean,
+    )
+    n = mesh.mark_fault(
+        lambda c, nrm: (np.abs(nrm[:, 0]) > 0.99)
+        & (np.abs(c[:, 0]) < 1e-6)
+        & (c[:, 2] < -1000.0)
+    )
+    assert n > 0
+    mesh.tag_boundary(ocean_surface_gravity_tagger(mesh))
+    fr = LinearSlipWeakening(mu_s=0.677, mu_d=0.525, d_c=0.05)
+    fault = FaultSolver(fr, Prestress(sigma_n=-120e6, tau_s=81.6e6))
+    solver = CoupledSolver(mesh, order=1, fault=fault)
+    lts = LocalTimeStepping(solver)
+    return solver, fault, lts
+
+
+class TestArchive:
+    def test_save_is_atomic_and_leaves_no_temp_files(self, tmp_path):
+        solver = build_gts()
+        solver.run(0.05)
+        path = save_checkpoint(str(tmp_path / "state"), solver)
+        assert path.endswith(".npz") and os.path.exists(path)
+        leftovers = [n for n in os.listdir(tmp_path) if n.endswith(".tmp")]
+        assert leftovers == []
+
+    def test_roundtrip_restores_every_field(self, tmp_path):
+        solver = build_gts()
+        solver.run(0.1)
+        path = save_checkpoint(str(tmp_path / "s.npz"), solver,
+                               metadata={"note": "mid-run"})
+        fresh = build_gts()
+        meta = restore_checkpoint(path, fresh)
+        assert meta["note"] == "mid-run"
+        assert fresh.t == solver.t
+        assert np.array_equal(fresh.Q, solver.Q)
+        assert np.array_equal(fresh.gravity.eta, solver.gravity.eta)
+
+    def test_fingerprint_rejects_different_order(self, tmp_path):
+        solver = build_gts(order=2)
+        path = save_checkpoint(str(tmp_path / "s.npz"), solver)
+        other = CoupledSolver(solver.mesh, order=1)
+        with pytest.raises(CheckpointError, match="different problem"):
+            restore_checkpoint(path, other)
+
+    def test_fingerprint_strict_false_still_checks_shapes(self, tmp_path):
+        solver = build_gts(order=2)
+        path = save_checkpoint(str(tmp_path / "s.npz"), solver)
+        other = CoupledSolver(solver.mesh, order=1)
+        with pytest.raises(CheckpointError, match="shape"):
+            restore_checkpoint(path, other, strict=False)
+
+    def test_fingerprint_differs_between_problems(self):
+        a = build_gts(order=2)
+        b = build_gts(order=1)
+        assert fingerprint(a) != fingerprint(b)
+        assert fingerprint(a) == fingerprint(build_gts(order=2))
+
+    def test_corrupt_archive_is_rejected(self, tmp_path):
+        bad = tmp_path / "ckpt_0000000001.npz"
+        bad.write_bytes(b"not an npz archive")
+        with pytest.raises(CheckpointError, match="cannot read"):
+            load_checkpoint(str(bad))
+
+    def test_fault_state_requires_fault_solver(self, tmp_path):
+        solver, fault, lts = build_lts_fault_gravity()
+        path = save_checkpoint(str(tmp_path / "f.npz"), solver, lts)
+        plain = build_gts()
+        with pytest.raises(CheckpointError):
+            restore_state(plain, load_checkpoint(path)["state"])
+
+
+class TestManager:
+    def test_rotation_keeps_newest(self, tmp_path):
+        solver = build_gts()
+        mgr = CheckpointManager(str(tmp_path), solver, keep=2)
+        for step in (10, 20, 30):
+            mgr.save(step)
+        names = sorted(os.listdir(tmp_path))
+        assert names == ["ckpt_0000000020.npz", "ckpt_0000000030.npz"]
+        assert mgr.latest().endswith("ckpt_0000000030.npz")
+
+    def test_latest_checkpoint_empty_dir(self, tmp_path):
+        assert latest_checkpoint(str(tmp_path)) is None
+        assert latest_checkpoint(str(tmp_path / "missing")) is None
+
+
+class TestRoundTripGTS:
+    def test_interrupted_run_matches_uninterrupted_bitwise(self, tmp_path):
+        t_end = 0.6
+        baseline = build_gts()
+        ResilientRunner(baseline, checkpoint_every=0.2, verbose=False).run(t_end)
+
+        # "crash" after 0.4 s of a checkpointed run...
+        victim = build_gts()
+        ResilientRunner(
+            victim, checkpoint_every=0.2, checkpoint_dir=str(tmp_path),
+            verbose=False,
+        ).run(0.4)
+
+        # ...then rebuild from scratch and resume from the latest checkpoint
+        resumed = build_gts()
+        runner = ResilientRunner(
+            resumed, checkpoint_every=0.2, checkpoint_dir=str(tmp_path),
+            verbose=False,
+        )
+        runner.resume()
+        assert resumed.t == pytest.approx(0.4)
+        runner.run(t_end)
+
+        assert resumed.t == baseline.t
+        assert np.array_equal(resumed.Q, baseline.Q)
+        assert np.array_equal(resumed.gravity.eta, baseline.gravity.eta)
+
+
+class TestRoundTripLTS:
+    def test_interrupted_lts_fault_gravity_matches_bitwise(self, tmp_path):
+        t_end = 0.3
+        sA, fA, ltsA = build_lts_fault_gravity()
+        ResilientRunner(sA, lts=ltsA, checkpoint_every=0.1, verbose=False).run(t_end)
+        assert fA.slip.max() > 0  # the fault actually ruptures in this window
+
+        sB, fB, ltsB = build_lts_fault_gravity()
+        ResilientRunner(
+            sB, lts=ltsB, checkpoint_every=0.1, checkpoint_dir=str(tmp_path),
+            verbose=False,
+        ).run(0.2)
+
+        sC, fC, ltsC = build_lts_fault_gravity()
+        runner = ResilientRunner(
+            sC, lts=ltsC, checkpoint_every=0.1, checkpoint_dir=str(tmp_path),
+            verbose=False,
+        )
+        runner.resume()
+        runner.run(t_end)
+
+        assert np.array_equal(sA.Q, sC.Q)
+        assert np.array_equal(sA.gravity.eta, sC.gravity.eta)
+        for name in fA.STATE_FIELDS:
+            assert np.array_equal(getattr(fA, name), getattr(fC, name)), name
+
+
+class TestCaptureRestore:
+    def test_capture_is_a_deep_copy(self):
+        solver = build_gts()
+        solver.run(0.05)
+        snap = capture_state(solver)
+        q_before = snap["Q"].copy()
+        solver.run(0.1)
+        assert np.array_equal(snap["Q"], q_before)
+        restore_state(solver, snap)
+        assert np.array_equal(solver.Q, q_before)
+        assert solver.t == float(snap["t"])

@@ -25,13 +25,23 @@ def _print_header(name: str):
     print(f"\n[{name}] computing shared run (cached for this session) ...", flush=True)
 
 
-def report(name: str, lines: list[str]) -> None:
+def report(name: str, lines: list[str], backend: str | None = None,
+           workers: int | None = None) -> None:
     """Print a paper-vs-measured comparison and persist it to
     ``benchmarks/out/<name>.txt`` (the EXPERIMENTS.md source data).
+
+    Timing benchmarks that depend on the execution backend must pass
+    ``backend`` (and ``workers`` for the partitioned backend) so the
+    result file becomes ``<name>__<backend>[_wN].txt`` — serial and
+    partitioned timings of the same benchmark never overwrite each other.
 
     The file is written atomically (tmp file + ``os.replace``) so an
     interrupted benchmark never leaves a truncated results file behind.
     """
+    if backend is not None:
+        name = f"{name}__{backend}" if workers is None else f"{name}__{backend}_w{workers}"
+    elif workers is not None:
+        raise ValueError("workers= requires backend=")
     text = "\n".join(lines)
     print(f"\n===== {name} =====\n{text}\n", flush=True)
     os.makedirs(_OUT_DIR, exist_ok=True)

@@ -44,12 +44,14 @@ def rupture_speed_along_strike(fault, y_min=-3000.0, y_max=3000.0):
 
 
 def main(t_end: float = 4.0, checkpoint_every: float | None = None,
-         checkpoint_dir: str | None = None, resume: str | None = None):
+         checkpoint_dir: str | None = None, resume: str | None = None,
+         backend: str = "serial", workers: int | None = None):
     cfg = PaluConfig()
-    solver, fault = build_coupled(cfg)
+    solver, fault = build_coupled(cfg, backend=backend, workers=workers)
     print(f"mesh: {solver.mesh.n_elements} elements "
           f"({int(solver.mesh.is_acoustic_elem.sum())} ocean), "
           f"{len(fault)} fault faces, {len(solver.gravity)} gravity faces")
+    print(f"execution backend: {solver.backend.describe()}")
     lts = LocalTimeStepping(solver)
     st = lts.statistics()
     print(f"LTS clusters {[int(c) for c in st['counts']]}, update reduction {st['speedup']:.2f}x")
@@ -108,5 +110,9 @@ if __name__ == "__main__":
     ap.add_argument("--checkpoint-dir", default=None)
     ap.add_argument("--resume", default=None,
                     help="checkpoint file or directory to resume from")
+    ap.add_argument("--backend", default="serial", choices=["serial", "partitioned"])
+    ap.add_argument("--workers", type=int, default=None,
+                    help="thread-pool size for the partitioned backend")
     args = ap.parse_args()
-    main(args.t_end, args.checkpoint_every, args.checkpoint_dir, args.resume)
+    main(args.t_end, args.checkpoint_every, args.checkpoint_dir, args.resume,
+         backend=args.backend, workers=args.workers)

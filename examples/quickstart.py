@@ -27,7 +27,8 @@ from repro.mesh.generators import layered_ocean_mesh
 
 
 def main(t_end: float = 2.5, checkpoint_every: float | None = None,
-         checkpoint_dir: str | None = None, resume: str | None = None):
+         checkpoint_dir: str | None = None, resume: str | None = None,
+         backend: str = "serial", workers: int | None = None):
     # --- domain: 4 x 4 km, 1.5 km of crust under a 500 m ocean ----------
     crust = elastic(rho=2700.0, cp=4000.0, cs=2300.0)
     ocean = acoustic(rho=1000.0, cp=1500.0)
@@ -39,8 +40,9 @@ def main(t_end: float = 2.5, checkpoint_every: float | None = None,
         earth=crust, ocean=ocean,
     )
     mesh.tag_boundary(ocean_surface_gravity_tagger(mesh))
-    solver = CoupledSolver(mesh, order=2)
+    solver = CoupledSolver(mesh, order=2, backend=backend, workers=workers)
     print(f"mesh: {mesh.n_elements} elements, {solver.n_dof} DOF, dt = {solver.dt * 1e3:.2f} ms")
+    print(f"execution backend: {solver.backend.describe()}")
     print(f"gravity free-surface faces: {len(solver.gravity)}")
 
     # --- an explosive (isotropic moment) source in the crust ------------
@@ -101,5 +103,9 @@ if __name__ == "__main__":
     ap.add_argument("--checkpoint-dir", default=None)
     ap.add_argument("--resume", default=None,
                     help="checkpoint file or directory to resume from")
+    ap.add_argument("--backend", default="serial", choices=["serial", "partitioned"])
+    ap.add_argument("--workers", type=int, default=None,
+                    help="thread-pool size for the partitioned backend")
     args = ap.parse_args()
-    main(args.t_end, args.checkpoint_every, args.checkpoint_dir, args.resume)
+    main(args.t_end, args.checkpoint_every, args.checkpoint_dir, args.resume,
+         backend=args.backend, workers=args.workers)

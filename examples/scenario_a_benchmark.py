@@ -31,14 +31,16 @@ from repro.scenarios.scenario_a import (
 
 def main(t_end: float = 6.0, n_transect: int = 41,
          checkpoint_every: float | None = None,
-         checkpoint_dir: str | None = None, resume: str | None = None):
+         checkpoint_dir: str | None = None, resume: str | None = None,
+         backend: str = "serial", workers: int | None = None):
     cfg = ScenarioAConfig()
 
     # --- fully coupled run ----------------------------------------------
     print("== fully coupled model ==")
-    solver, fault = build_coupled(cfg)
+    solver, fault = build_coupled(cfg, backend=backend, workers=workers)
     print(f"  {solver.mesh.n_elements} elements, {len(fault)} fault faces, "
           f"{len(solver.gravity)} gravity faces")
+    print(f"  execution backend: {solver.backend.describe()}")
     lts = LocalTimeStepping(solver)
     print(f"  LTS clusters: {np.bincount(lts.cluster)} "
           f"(update reduction {lts.statistics()['speedup']:.2f}x)")
@@ -103,6 +105,10 @@ if __name__ == "__main__":
     ap.add_argument("--checkpoint-dir", default=None)
     ap.add_argument("--resume", default=None,
                     help="checkpoint file or directory to resume from")
+    ap.add_argument("--backend", default="serial", choices=["serial", "partitioned"])
+    ap.add_argument("--workers", type=int, default=None,
+                    help="thread-pool size for the partitioned backend")
     args = ap.parse_args()
     main(args.t_end, checkpoint_every=args.checkpoint_every,
-         checkpoint_dir=args.checkpoint_dir, resume=args.resume)
+         checkpoint_dir=args.checkpoint_dir, resume=args.resume,
+         backend=args.backend, workers=args.workers)

@@ -22,6 +22,10 @@ atomic on-disk checkpoints), ``--checkpoint-dir DIR``, and ``--resume
 directory).  Checkpointed runs are supervised: a NaN/energy/CFL watchdog
 triggers rollback to the last snapshot with timestep backoff instead of
 silently corrupting the run.
+
+They also accept the execution-backend options ``--backend
+serial|partitioned`` and ``--workers N`` (thread-pool size for the
+partitioned backend; see README "Parallel execution").
 """
 
 from __future__ import annotations
@@ -50,16 +54,31 @@ def main(argv=None) -> int:
             help="resume from a checkpoint file or the newest one in a directory",
         )
 
+    def add_backend_args(p):
+        from repro.exec import available_backends
+
+        p.add_argument(
+            "--backend", default="serial", choices=available_backends(),
+            help="execution backend (default: serial)",
+        )
+        p.add_argument(
+            "--workers", type=int, default=None, metavar="N",
+            help="thread-pool size for the partitioned backend",
+        )
+
     sub.add_parser("info", help="version and subsystem summary")
     p_q = sub.add_parser("quickstart", help="coupled Earth-ocean quickstart")
     p_q.add_argument("--t-end", type=float, default=2.5)
     add_resilience_args(p_q)
+    add_backend_args(p_q)
     p_a = sub.add_parser("scenario-a", help="Scenario-A coupled vs linked (Fig. 3)")
     p_a.add_argument("--t-end", type=float, default=6.0)
     add_resilience_args(p_a)
+    add_backend_args(p_a)
     p_p = sub.add_parser("palu", help="Palu supershear scenario (Fig. 1)")
     p_p.add_argument("--t-end", type=float, default=4.0)
     add_resilience_args(p_p)
+    add_backend_args(p_p)
     sub.add_parser("scaling", help="strong scaling on simulated machines (Fig. 6)")
     sub.add_parser("acoustics", help="acoustic/gravity dispersion demo")
     args = ap.parse_args(argv)
@@ -87,16 +106,19 @@ def main(argv=None) -> int:
     if args.command == "quickstart":
         from quickstart import main as run
 
-        run(args.t_end, args.checkpoint_every, args.checkpoint_dir, args.resume)
+        run(args.t_end, args.checkpoint_every, args.checkpoint_dir, args.resume,
+            backend=args.backend, workers=args.workers)
     elif args.command == "scenario-a":
         from scenario_a_benchmark import main as run
 
         run(args.t_end, checkpoint_every=args.checkpoint_every,
-            checkpoint_dir=args.checkpoint_dir, resume=args.resume)
+            checkpoint_dir=args.checkpoint_dir, resume=args.resume,
+            backend=args.backend, workers=args.workers)
     elif args.command == "palu":
         from palu_bay import main as run
 
-        run(args.t_end, args.checkpoint_every, args.checkpoint_dir, args.resume)
+        run(args.t_end, args.checkpoint_every, args.checkpoint_dir, args.resume,
+            backend=args.backend, workers=args.workers)
     elif args.command == "scaling":
         from scaling_study import main as run
 

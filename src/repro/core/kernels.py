@@ -23,6 +23,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..core.riemann import FaceKind
+from ..exec.plan_cache import OperatorPlan, get_plan_cache
 from .ader import ck_derivatives, star_matrices
 from .basis import get_reference_element
 from .materials import jacobians
@@ -66,15 +67,28 @@ class SpatialOperator:
         self.order = order
         self.ref = get_reference_element(order)
         self.g = gravity_g
-        self.star = star_matrices(mesh)
-        self.starT = self.star.transpose(0, 1, 3, 2).copy()
-        self._build_interior()
-        self._build_boundary()
+        self._n_elements = mesh.n_elements
+        # the expensive setup (star Jacobians + per-face flux matrices) is
+        # memoized per problem fingerprint; plans are immutable and shared
+        plan = get_plan_cache().get_or_build(mesh, order, flux_variant, self._build_plan)
+        self.star = plan.star
+        self.starT = plan.starT
+        self.interior_groups = plan.interior_groups
+        self.boundary_groups = plan.boundary_groups
+
+    def _build_plan(self) -> OperatorPlan:
+        star = star_matrices(self.mesh)
+        return OperatorPlan(
+            star=star,
+            starT=star.transpose(0, 1, 3, 2).copy(),
+            interior_groups=self._build_interior(),
+            boundary_groups=self._build_boundary(),
+        )
 
     # ------------------------------------------------------------------
     @property
     def n_elements(self) -> int:
-        return self.mesh.n_elements
+        return self._n_elements
 
     @property
     def nbasis(self) -> int:
@@ -113,7 +127,7 @@ class SpatialOperator:
             Fp[sel] = np.einsum("fij,jk,fkl->fil", T[sel], AGp, Tinv[sel], optimize=True)
         return Fm, Fp
 
-    def _build_interior(self) -> None:
+    def _build_interior(self) -> list[_InteriorGroup]:
         itf = self.mesh.interior
         regular = ~itf.is_fault
         ids = np.flatnonzero(regular)
@@ -129,7 +143,7 @@ class SpatialOperator:
         scale_p = -2.0 * itf.area[ids] / self.mesh.det_jac[itf.plus_elem[ids]]
 
         cls = (itf.minus_face[ids] * 4 + itf.plus_face[ids]) * 6 + itf.perm[ids]
-        self.interior_groups: list[_InteriorGroup] = []
+        groups: list[_InteriorGroup] = []
         for c in np.unique(cls):
             sel = cls == c
             grp = _InteriorGroup()
@@ -145,13 +159,14 @@ class SpatialOperator:
             grp.Fpm = Fpm[sel]
             grp.Fmp = Fmp[sel]
             grp.Fpp = Fpp[sel]
-            self.interior_groups.append(grp)
+            groups.append(grp)
+        return groups
 
-    def _build_boundary(self) -> None:
+    def _build_boundary(self) -> list[_BoundaryGroup]:
         bnd = self.mesh.boundary
         mats = self.mesh.materials
         mat_ids = self.mesh.material_ids
-        self.boundary_groups: list[_BoundaryGroup] = []
+        groups: list[_BoundaryGroup] = []
         handled = (
             FaceKind.FREE_SURFACE.value,
             FaceKind.ABSORBING.value,
@@ -183,7 +198,75 @@ class SpatialOperator:
                 grp.face = np.full(len(sel), f)
                 grp.scale = -2.0 * bnd.area[sel] / self.mesh.det_jac[bnd.elem[sel]]
                 grp.F = F
-                self.boundary_groups.append(grp)
+                groups.append(grp)
+        return groups
+
+    # ------------------------------------------------------------------
+    def restricted(self, cells: np.ndarray, n_owned: int) -> "SpatialOperator":
+        """Sub-operator over ``cells`` (owned elements first, then the halo).
+
+        Element indices in the returned operator are *local* (positions in
+        ``cells``), so its residual kernels act on gathered arrays
+        ``X[cells]``.  It keeps every interior face with at least one owned
+        side — the halo layer must therefore contain the far side of every
+        cut face (raises otherwise) — and every boundary face of an owned
+        element.  Restricted operators share the parent's (cached,
+        immutable) flux matrices via slicing; they support the residual
+        kernels and :meth:`predict` only, not face-flux projection.
+        """
+        cells = np.asarray(cells)
+        sub = object.__new__(SpatialOperator)
+        sub.flux_variant = self.flux_variant
+        sub.mesh = self.mesh
+        sub.order = self.order
+        sub.ref = self.ref
+        sub.g = self.g
+        sub._n_elements = len(cells)
+        sub.star = self.star[cells]
+        sub.starT = self.starT[cells]
+        g2l = np.full(self.n_elements, -1, dtype=np.int64)
+        g2l[cells] = np.arange(len(cells))
+        owned = np.zeros(self.n_elements, dtype=bool)
+        owned[cells[:n_owned]] = True
+
+        sub.interior_groups = []
+        for grp in self.interior_groups:
+            sel = owned[grp.em] | owned[grp.ep]
+            if not sel.any():
+                continue
+            g = _InteriorGroup()
+            g.face_ids = grp.face_ids[sel]
+            g.em = g2l[grp.em[sel]]
+            g.ep = g2l[grp.ep[sel]]
+            if (g.em < 0).any() or (g.ep < 0).any():
+                raise ValueError(
+                    "restricted(): an owned face's neighbor element is outside "
+                    "`cells`; the halo layer does not cover all cut faces"
+                )
+            g.minus_face = grp.minus_face
+            g.plus_face = grp.plus_face
+            g.perm = grp.perm
+            g.scale_m = grp.scale_m[sel]
+            g.scale_p = grp.scale_p[sel]
+            g.Fmm = grp.Fmm[sel]
+            g.Fpm = grp.Fpm[sel]
+            g.Fmp = grp.Fmp[sel]
+            g.Fpp = grp.Fpp[sel]
+            sub.interior_groups.append(g)
+
+        sub.boundary_groups = []
+        for grp in self.boundary_groups:
+            sel = owned[grp.elem]
+            if not sel.any():
+                continue
+            b = _BoundaryGroup()
+            b.face_ids = grp.face_ids[sel]
+            b.elem = g2l[grp.elem[sel]]
+            b.face = grp.face[sel]
+            b.scale = grp.scale[sel]
+            b.F = grp.F[sel]
+            sub.boundary_groups.append(b)
+        return sub
 
     # ------------------------------------------------------------------
     def predict(self, Q: np.ndarray) -> np.ndarray:

@@ -27,7 +27,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from .ader import ck_derivatives, taylor_integrate
+from .ader import taylor_integrate
 from .cfl import element_timesteps
 
 __all__ = ["cluster_elements", "lts_statistics", "LocalTimeStepping"]
@@ -100,6 +100,7 @@ class LocalTimeStepping:
     def __init__(self, solver, rate: int = 2, max_cluster: int | None = None):
         self.solver = solver
         self.op = solver.op
+        self.backend = solver.backend
         mesh = solver.mesh
         self.rate = rate
         self.cluster, self.dt_min = cluster_elements(
@@ -165,7 +166,7 @@ class LocalTimeStepping:
         pred_int = np.zeros(self.n_clusters, dtype=np.int64)
         end_int = n_macro * rate**cmax
 
-        derivs = op.predict(solver.Q)
+        derivs = self.backend.predict(solver.Q)
         Iown = np.zeros((ne, nb, 9))
         Ibuf = np.zeros((ne, nb, 9))
         for c in range(self.n_clusters):
@@ -229,22 +230,11 @@ class LocalTimeStepping:
             else:
                 I[mn] = Ibuf[mn]
 
-        out = np.zeros_like(I)
-        op.volume_residual(I, out, active=mask)
-        op.interior_residual(I, out, active=mask)
-        op.boundary_residual(I, out, active=mask)
-        gmask = self.gravity_masks[c]
-        if gmask.any():
-            solver.gravity.step(derivs, dts[c], out, face_mask=gmask)
-        if self.motion_masks is not None and self.motion_masks[c].any():
-            solver.motion.step(
-                derivs, dts[c], out, t0=self._t0 + t_a, face_mask=self.motion_masks[c]
-            )
-        if solver.fault is not None:
-            solver.fault.step(derivs, dts[c], out, active=mask, t0=self._t0 + t_a)
-        for s in solver.sources:
-            if mask[s._elem]:
-                s.add(out, self._t0 + t_a, dts[c])
+        out = self.backend.corrector(
+            I, derivs, dts[c], t0=self._t0 + t_a, active=mask,
+            gravity_mask=self.gravity_masks[c],
+            motion_mask=None if self.motion_masks is None else self.motion_masks[c],
+        )
         solver.Q[mask] += out[mask]
 
         # the just-completed window becomes available to coarser neighbors
@@ -256,7 +246,5 @@ class LocalTimeStepping:
 
         # next predictor for this cluster (skip if the run is over for it)
         if t_int[c] + steps_int[c] < end_int:
-            new_derivs = ck_derivatives(solver.Q[mask], op.star[mask], op.ref)
-            derivs[mask] = new_derivs
-            Iown[mask] = taylor_integrate(new_derivs, 0.0, dts[c])
+            self.backend.update_predictor(solver.Q, mask, dts[c], derivs, Iown)
             pred_int[c] = t_int[c] + steps_int[c]

@@ -111,6 +111,10 @@ class ResilientRunner:
         self.rollbacks = 0
         #: checkpoint paths written, in order
         self.checkpoints_written: list = []
+        #: execution backend the supervised solver runs on (serial or
+        #: partitioned — the runner itself is backend-agnostic: backends
+        #: hold no time-marching state, so rollback/resume never touch them)
+        self.backend = getattr(solver, "backend", None)
 
     # ------------------------------------------------------------------
     def resume(self, path: str | None = None, strict: bool = True) -> dict:
@@ -256,9 +260,12 @@ class ResilientRunner:
         try:
             if self.injector is not None:
                 self.injector.io_gate(self.step_count)
-            path = self.manager.save(
-                self.step_count, metadata={"dt_scale": self.dt_scale}
-            )
+            meta = {"dt_scale": self.dt_scale}
+            if self.backend is not None:
+                # informational only: states are backend-portable, a run may
+                # resume under a different backend / worker count
+                meta["backend"] = self.backend.describe()
+            path = self.manager.save(self.step_count, metadata=meta)
         except OSError as exc:
             # a failed write must never kill a healthy run: the previous
             # checkpoint is still intact (atomic publish), so just warn

@@ -21,6 +21,7 @@ from collections.abc import Callable
 
 import numpy as np
 
+from ..exec.backend import make_backend
 from .ader import taylor_integrate
 from .basis import tet_basis
 from .cfl import element_timesteps
@@ -168,6 +169,11 @@ class CoupledSolver:
         Safety factor in Eq. 27; the paper uses 0.35.
     gravity_integrator:
         ``"exact"`` (default) or ``"rk4"`` for the face ODE.
+    backend:
+        Execution backend: ``"serial"`` (default), ``"partitioned"``, or a
+        pre-built :class:`~repro.exec.backend.ExecutionBackend` instance.
+    workers:
+        Thread-pool size for the partitioned backend.
     """
 
     def __init__(
@@ -181,6 +187,8 @@ class CoupledSolver:
         bottom_motion=None,
         flux_variant: str = "exact",
         gravity_eta_velocity: str = "middle",
+        backend="serial",
+        workers: int | None = None,
     ):
         _validate_mesh_inputs(mesh)
         self.mesh = mesh
@@ -218,6 +226,9 @@ class CoupledSolver:
         elif has_motion_faces:
             raise ValueError("PRESCRIBED_MOTION faces tagged but no bottom_motion given")
         self.sources: list[PointSource] = []
+        # the backend binds last: partitioning needs gravity/fault/motion set
+        self.backend = make_backend(backend, workers=workers)
+        self.backend.bind(self)
 
     # ------------------------------------------------------------------
     @property
@@ -254,16 +265,9 @@ class CoupledSolver:
     def step(self, dt: float | None = None) -> None:
         """One global ADER-DG timestep (predictor + corrector)."""
         dt = self.dt if dt is None else dt
-        derivs = self.op.predict(self.Q)
+        derivs = self.backend.predict(self.Q)
         I = taylor_integrate(derivs, 0.0, dt)
-        R = self.op.apply(I)
-        self.gravity.step(derivs, dt, R)
-        if self.motion is not None:
-            self.motion.step(derivs, dt, R, t0=self.t)
-        if self.fault is not None:
-            self.fault.step(derivs, dt, R, t0=self.t)
-        for s in self.sources:
-            s.add(R, self.t, dt)
+        R = self.backend.corrector(I, derivs, dt, t0=self.t)
         self.Q += R
         self.t += dt
 

@@ -58,30 +58,21 @@ class CheckpointError(RuntimeError):
 def fingerprint(solver) -> str:
     """SHA-256 digest of the discrete problem a solver state belongs to.
 
-    Covers mesh geometry/topology, the material table, boundary tags,
-    fault-face marks, polynomial order, CFL safety and the gravitational
-    constant — everything that must match for a saved state to be
-    meaningful.  Deliberately excludes run-time knobs (integrator choice,
-    flux variant) that do not change the meaning of ``Q``.
+    Builds on :func:`repro.exec.plan_cache.mesh_fingerprint` (the digest
+    the operator-plan cache is keyed by), which covers mesh geometry and
+    topology, the material table, boundary tags and fault-face marks, and
+    adds the solver-level scalars: polynomial order, CFL safety and the
+    gravitational constant.  Deliberately excludes run-time knobs
+    (integrator choice, flux variant, execution backend) that do not
+    change the meaning of ``Q``.
     """
-    mesh = solver.mesh
+    from ..exec.plan_cache import mesh_fingerprint
+
     h = hashlib.sha256()
-
-    def add(label: str, arr) -> None:
-        a = np.ascontiguousarray(arr)
-        h.update(label.encode())
-        h.update(str(a.dtype).encode())
-        h.update(str(a.shape).encode())
-        h.update(a.tobytes())
-
-    add("vertices", mesh.vertices)
-    add("tets", mesh.tets)
-    add("material_ids", mesh.material_ids)
-    add("materials", np.array([[m.rho, m.lam, m.mu] for m in mesh.materials]))
-    add("boundary_kind", mesh.boundary.kind)
-    add("fault_faces", mesh.interior.is_fault)
-    add("scalars", np.array([float(solver.order), solver.cfl_safety, solver.gravity.g]))
-    add("has_fault", np.array([solver.fault is not None]))
+    h.update(mesh_fingerprint(solver.mesh).encode())
+    scalars = np.array([float(solver.order), solver.cfl_safety, solver.gravity.g])
+    h.update(scalars.tobytes())
+    h.update(b"fault" if solver.fault is not None else b"no-fault")
     return h.hexdigest()
 
 

@@ -167,8 +167,13 @@ def _friction(cfg: PaluConfig):
     )
 
 
-def build_coupled(cfg: PaluConfig | None = None):
-    """Fully coupled Palu model: returns ``(solver, fault)``."""
+def build_coupled(cfg: PaluConfig | None = None, backend="serial",
+                  workers: int | None = None):
+    """Fully coupled Palu model: returns ``(solver, fault)``.
+
+    ``backend``/``workers`` select the execution backend (see
+    :mod:`repro.exec`).
+    """
     cfg = cfg or PaluConfig()
     bathy = palu_bathymetry(cfg)
     xs, ys, zs_earth = _grids(cfg)
@@ -187,11 +192,13 @@ def build_coupled(cfg: PaluConfig | None = None):
         raise RuntimeError("Palu fault marking failed")
     mesh.tag_boundary(ocean_surface_gravity_tagger(mesh))
     fault = FaultSolver(_friction(cfg), _prestress(cfg))
-    solver = CoupledSolver(mesh, order=cfg.order, fault=fault)
+    solver = CoupledSolver(mesh, order=cfg.order, fault=fault,
+                           backend=backend, workers=workers)
     return solver, fault
 
 
-def build_earthquake_only(cfg: PaluConfig | None = None):
+def build_earthquake_only(cfg: PaluConfig | None = None, backend="serial",
+                          workers: int | None = None):
     """Earth-only Palu model for one-way linking: ``(solver, fault, tracker)``.
 
     The free surface follows the bathymetry (no water layer), exactly the
@@ -221,7 +228,8 @@ def build_earthquake_only(cfg: PaluConfig | None = None):
 
     mesh.tag_boundary(tagger)
     fault = FaultSolver(_friction(cfg), _prestress(cfg))
-    solver = CoupledSolver(mesh, order=cfg.order, fault=fault)
+    solver = CoupledSolver(mesh, order=cfg.order, fault=fault,
+                           backend=backend, workers=workers)
     tracker = SurfaceDisplacementTracker(solver, upward_only=True)
     return solver, fault, tracker
 

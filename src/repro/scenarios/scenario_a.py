@@ -151,10 +151,12 @@ def _friction(cfg: ScenarioAConfig, fault_points: np.ndarray | None = None):
     return LinearSlipWeakening(mu_s=cfg.mu_s, mu_d=cfg.mu_d, d_c=cfg.d_c)
 
 
-def build_coupled(cfg: ScenarioAConfig | None = None):
+def build_coupled(cfg: ScenarioAConfig | None = None, backend="serial",
+                  workers: int | None = None):
     """Fully coupled Earth+ocean solver with the dynamic-rupture source.
 
-    Returns ``(solver, fault)``.
+    ``backend``/``workers`` select the execution backend (see
+    :mod:`repro.exec`).  Returns ``(solver, fault)``.
     """
     cfg = cfg or ScenarioAConfig()
     xs, ys, zs_earth, zs_ocean = _grids(cfg)
@@ -166,12 +168,14 @@ def build_coupled(cfg: ScenarioAConfig | None = None):
         raise RuntimeError("Scenario A fault marking failed (no faces on plane)")
     mesh.tag_boundary(ocean_surface_gravity_tagger(mesh))
     fault = FaultSolver(_friction(cfg), _prestress(cfg))
-    solver = CoupledSolver(mesh, order=cfg.order, fault=fault)
+    solver = CoupledSolver(mesh, order=cfg.order, fault=fault,
+                           backend=backend, workers=workers)
     _strengthen_near_seafloor(cfg, fault)
     return solver, fault
 
 
-def build_earthquake_only(cfg: ScenarioAConfig | None = None):
+def build_earthquake_only(cfg: ScenarioAConfig | None = None, backend="serial",
+                          workers: int | None = None):
     """Earth-only model for the one-way-linked workflow.
 
     Same fault and stress, no water layer; the top surface (the seafloor)
@@ -196,7 +200,8 @@ def build_earthquake_only(cfg: ScenarioAConfig | None = None):
 
     mesh.tag_boundary(tagger)
     fault = FaultSolver(_friction(cfg), _prestress(cfg))
-    solver = CoupledSolver(mesh, order=cfg.order, fault=fault)
+    solver = CoupledSolver(mesh, order=cfg.order, fault=fault,
+                           backend=backend, workers=workers)
     _strengthen_near_seafloor(cfg, fault)
     tracker = SurfaceDisplacementTracker(solver)
     return solver, fault, tracker

@@ -1,0 +1,99 @@
+"""Smoke-run every ``benchmarks/bench_*.py`` entry point in tiny-mesh mode.
+
+The figure/table benchmarks are the repo's reproduction artifacts; nothing
+in the fast suite would notice if one of them drifted out of sync with the
+library API (signature changes, renamed helpers, moved configs).  This
+module imports each ``bench_*`` file and calls every ``test_*`` entry
+point with a stub ``benchmark`` fixture under ``REPRO_FAST=1``, so the
+whole suite stays runnable without pytest-benchmark installed.
+
+Marked ``slow``: the shared scenario runs take minutes even in fast mode.
+Run with ``pytest -m slow tests/test_bench_smoke.py``.
+"""
+
+import importlib
+import inspect
+import time
+from pathlib import Path
+
+import pytest
+
+pytestmark = pytest.mark.slow
+
+BENCH_DIR = Path(__file__).resolve().parent.parent / "benchmarks"
+BENCH_MODULES = sorted(p.stem for p in BENCH_DIR.glob("bench_*.py"))
+
+
+class StubBenchmark:
+    """Duck-typed stand-in for pytest-benchmark's ``benchmark`` fixture.
+
+    Supports the two call styles the suite uses — ``benchmark(fn)`` and
+    ``benchmark.pedantic(fn, rounds=..., iterations=..., warmup_rounds=...)``
+    — and records real wall-clock timings in ``stats`` so entry points
+    that compute speedups from ``stats["mean"]`` keep working.
+    """
+
+    def __init__(self):
+        self.stats = {}
+
+    def __call__(self, fn, *args, **kwargs):
+        return self._run(fn, args, kwargs, rounds=1, iterations=1)
+
+    def pedantic(self, target, args=(), kwargs=None, rounds=1, iterations=1,
+                 warmup_rounds=0):
+        kwargs = kwargs or {}
+        for _ in range(warmup_rounds):
+            target(*args, **kwargs)
+        return self._run(target, args, kwargs, rounds, iterations)
+
+    def _run(self, fn, args, kwargs, rounds, iterations):
+        times, result = [], None
+        for _ in range(max(int(rounds), 1)):
+            t0 = time.perf_counter()
+            for _ in range(max(int(iterations), 1)):
+                result = fn(*args, **kwargs)
+            times.append((time.perf_counter() - t0) / max(int(iterations), 1))
+        self.stats = {
+            "mean": sum(times) / len(times),
+            "min": min(times),
+            "max": max(times),
+            "rounds": len(times),
+        }
+        return result
+
+
+@pytest.fixture(autouse=True)
+def _tiny_mesh_mode(monkeypatch, tmp_path):
+    # REPRO_FAST is read at benchmarks/_cache.py import time, so it must be
+    # in the environment before the bench module (and _cache) are imported
+    monkeypatch.setenv("REPRO_FAST", "1")
+    monkeypatch.syspath_prepend(str(BENCH_DIR))
+    # keep the smoke run from clobbering the committed full-run results in
+    # benchmarks/out with tiny-mesh numbers
+    import _cache
+
+    monkeypatch.setattr(_cache, "_OUT_DIR", str(tmp_path / "out"))
+
+
+def test_all_benchmarks_discovered():
+    assert len(BENCH_MODULES) >= 14, BENCH_MODULES
+
+
+@pytest.mark.parametrize("mod_name", BENCH_MODULES)
+def test_bench_entry_points_run(mod_name):
+    mod = importlib.import_module(mod_name)
+    entries = [
+        (name, fn)
+        for name, fn in sorted(vars(mod).items())
+        if name.startswith("test_") and inspect.isfunction(fn)
+        and fn.__module__ == mod.__name__
+    ]
+    assert entries, f"{mod_name} defines no test_* entry point"
+    for name, fn in entries:
+        params = inspect.signature(fn).parameters
+        # entry points may only request the benchmark fixture — anything
+        # else is argument drift against how the suite invokes them
+        extra = [p for p in params if p != "benchmark"]
+        assert not extra, f"{mod_name}.{name} requests unknown fixtures {extra}"
+        kwargs = {"benchmark": StubBenchmark()} if "benchmark" in params else {}
+        fn(**kwargs)

@@ -16,13 +16,28 @@ from repro.core.riemann import (
     middle_state_matrices,
     wall_matrix,
 )
-from repro.core.rotation import state_rotation, state_rotation_inverse
+from repro.core.rotation import (
+    bond_matrix,
+    normal_basis,
+    state_rotation,
+    state_rotation_inverse,
+)
+
+from .conftest import random_material, random_unit_vector
 
 
 def random_unit(seed):
     rng = np.random.default_rng(seed)
     n = rng.normal(size=3)
     return n / np.linalg.norm(n)
+
+
+def state_rotation_from(R):
+    """T9 for an arbitrary rotation matrix: blockdiag(bond(R), R)."""
+    T = np.zeros((9, 9))
+    T[:6, :6] = bond_matrix(R)
+    T[6:, 6:] = R
+    return T
 
 
 ROCK = elastic(2700.0, 6000.0, 3464.0)
@@ -125,6 +140,90 @@ class TestFluxMatrices:
         assert np.allclose(flux[3:6], 0.0, atol=1e-8)
 
 
+class TestInterfaceProperties:
+    """Property-based checks over random material pairs and orientations.
+
+    These generalize the fixed ROCK/WATER spot checks above: the Godunov
+    flux must be conservative, frame-independent and consistent for *any*
+    admissible acoustic/elastic pairing and face orientation.
+    """
+
+    @given(st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=40, deadline=None)
+    def test_welded_flux_is_consistent(self, seed):
+        """F- + F+ reproduces the physical normal flux for any material."""
+        rng = np.random.default_rng(seed)
+        mat = random_material(rng)
+        n = random_unit_vector(rng)
+        q = rng.normal(size=9)
+        Fm, Fp = interior_flux_matrices(mat, mat, n)
+        Ahat = jacobian_normal(mat, n)
+        scale = max(np.abs(Ahat @ q).max(), np.abs(Ahat).max())
+        assert np.allclose((Fm + Fp) @ q, Ahat @ q, rtol=1e-9, atol=1e-9 * scale)
+
+    @given(st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=40, deadline=None)
+    def test_momentum_conservation_across_interface(self, seed):
+        """What flows out of the minus side flows into the plus side.
+
+        The velocity rows of the flux carry 1/rho, so the momentum budget
+        is rho_m F^-[v] + rho_p F^+[v] = 0 — for any material pairing,
+        with the plus side seeing the flipped normal.
+        """
+        rng = np.random.default_rng(seed)
+        mm, mp = random_material(rng), random_material(rng)
+        n = random_unit_vector(rng)
+        qm, qp = rng.normal(size=9), rng.normal(size=9)
+        Fm, Fp = interior_flux_matrices(mm, mp, n)
+        Gm, Gp = interior_flux_matrices(mp, mm, -n)
+        f_minus = (Fm @ qm + Fp @ qp)[6:]
+        f_plus = (Gm @ qp + Gp @ qm)[6:]
+        budget = mm.rho * f_minus + mp.rho * f_plus
+        scale = max(np.abs(mm.rho * f_minus).max(), np.abs(mp.rho * f_plus).max(), 1e-30)
+        assert np.abs(budget).max() < 1e-9 * scale
+
+    @given(st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=40, deadline=None)
+    def test_middle_state_agrees_from_both_sides(self, seed):
+        """Traction vector and normal velocity of the Godunov middle state
+        are the same whether solved from the minus or the plus side."""
+        rng = np.random.default_rng(seed)
+        mm, mp = random_material(rng), random_material(rng)
+        n = random_unit_vector(rng)
+        qm, qp = rng.normal(size=9), rng.normal(size=9)
+        # minus-side solve, in the local frame of n
+        wm, wp = state_rotation_inverse(n) @ qm, state_rotation_inverse(n) @ qp
+        Gm, Gp = middle_state_matrices(mm, mp)
+        wb_minus = Gm @ wm + Gp @ wp
+        # plus-side solve, in the local frame of -n (its outward normal)
+        w2m, w2p = state_rotation_inverse(-n) @ qp, state_rotation_inverse(-n) @ qm
+        Hm, Hp = middle_state_matrices(mp, mm)
+        wb_plus = Hm @ w2m + Hp @ w2p
+        # traction t(n) = -t(-n); local face-traction components are
+        # (sxx, sxy, sxz) = Voigt rows [0, 3, 5] in each local frame
+        t_minus = normal_basis(n) @ wb_minus[[SXX, SXY, SXZ]]
+        t_plus = normal_basis(-n) @ wb_plus[[SXX, SXY, SXZ]]
+        scale = max(np.abs(t_minus).max(), np.abs(wb_minus).max(), 1e-30)
+        assert np.abs(t_minus + t_plus).max() < 1e-9 * scale
+        # normal velocity: v*.n from minus == -(v*.(-n)) from plus
+        assert abs(wb_minus[VX] + wb_plus[VX]) < 1e-9 * scale
+
+    @given(st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=25, deadline=None)
+    def test_flux_rotation_invariance(self, seed):
+        """Rotating the face normal conjugates the flux by T9 (Eq. 15):
+        F(R n) = T9(R) F(n) T9(R)^-1 — physics has no preferred frame."""
+        rng = np.random.default_rng(seed)
+        mm, mp = random_material(rng), random_material(rng)
+        n = random_unit_vector(rng)
+        R = normal_basis(random_unit_vector(rng))  # arbitrary rotation
+        T9, T9i = state_rotation_from(R), state_rotation_from(R.T)
+        Fm, Fp = interior_flux_matrices(mm, mp, n)
+        Gm, Gp = interior_flux_matrices(mm, mp, R @ n)
+        assert np.allclose(Gm, T9 @ Fm @ T9i, atol=1e-12 * max(np.abs(Fm).max(), 1.0))
+        assert np.allclose(Gp, T9 @ Fp @ T9i, atol=1e-12 * max(np.abs(Fp).max(), 1.0))
+
+
 class TestBoundary:
     def test_free_surface_zeroes_traction(self):
         G = free_surface_matrix(ROCK)
@@ -164,6 +263,29 @@ class TestBoundary:
         wb_fs = free_surface_matrix(ROCK) @ w
         for idx in (SXX, SXY, SXZ, VX, VY, VZ):
             assert np.isclose(wb_fs[idx], wb_ghost[idx]), idx
+
+    @given(st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=40, deadline=None)
+    def test_boundary_matrices_idempotent(self, seed):
+        """Free-surface and wall middle-state maps are projections: a state
+        already satisfying the boundary condition is left alone (G G = G),
+        for any admissible material."""
+        rng = np.random.default_rng(seed)
+        mat = random_material(rng)
+        for G in (free_surface_matrix(mat), wall_matrix(mat)):
+            scale = max(np.abs(G).max(), 1.0)
+            assert np.abs(G @ G - G).max() < 1e-12 * scale
+
+    @given(st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=25, deadline=None)
+    def test_boundary_conditions_hold_for_any_material(self, seed):
+        rng = np.random.default_rng(seed)
+        mat = random_material(rng)
+        w = rng.normal(size=9)
+        wb_fs = free_surface_matrix(mat) @ w
+        assert np.allclose([wb_fs[SXX], wb_fs[SXY], wb_fs[SXZ]], 0.0, atol=1e-10)
+        wb_wall = wall_matrix(mat) @ w
+        assert abs(wb_wall[VX]) < 1e-10
 
     def test_gravity_affine_vector(self):
         c = gravity_affine_vector(WATER, g=9.81)

@@ -16,6 +16,9 @@ from repro.core.rotation import (
 )
 
 
+from .conftest import random_material, random_unit_vector
+
+
 def random_unit(seed):
     rng = np.random.default_rng(seed)
     n = rng.normal(size=3)
@@ -96,3 +99,45 @@ class TestStateRotation:
         for i, n in enumerate(normals):
             assert np.allclose(T[i], state_rotation(n), atol=1e-13)
             assert np.allclose(Tinv[i], state_rotation_inverse(n), atol=1e-13)
+
+    @given(st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=40, deadline=None)
+    def test_similarity_identity_random_materials(self, seed):
+        """Eq. 15 holds for any admissible material, not just the fixtures:
+        T(n) A T(n)^-1 == nx A + ny B + nz C."""
+        rng = np.random.default_rng(seed)
+        mat = random_material(rng)
+        n = random_unit_vector(rng)
+        A = jacobians(mat)[0]
+        lhs = state_rotation(n) @ A @ state_rotation_inverse(n)
+        rhs = jacobian_normal(mat, n)
+        assert np.abs(lhs - rhs).max() < 1e-9 * max(np.abs(rhs).max(), mat.lam)
+
+    @given(st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=40, deadline=None)
+    def test_block_structure(self, seed):
+        """T(n) is exactly blockdiag(bond(R), R) with R = normal_basis(n),
+        and its inverse is the same construction from R^T."""
+        rng = np.random.default_rng(seed)
+        n = random_unit_vector(rng)
+        R = normal_basis(n)
+
+        def blockdiag(Rm):
+            T = np.zeros((9, 9))
+            T[:6, :6] = bond_matrix(Rm)
+            T[6:, 6:] = Rm
+            return T
+
+        assert np.allclose(state_rotation(n), blockdiag(R), atol=1e-13)
+        assert np.allclose(state_rotation_inverse(n), blockdiag(R.T), atol=1e-13)
+
+    @given(st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=40, deadline=None)
+    def test_rotation_preserves_energy_norm(self, seed):
+        """The velocity block is orthogonal: kinetic energy density is
+        frame-independent under T(n)."""
+        rng = np.random.default_rng(seed)
+        n = random_unit_vector(rng)
+        q = rng.normal(size=9)
+        v_rot = (state_rotation(n) @ q)[6:]
+        assert np.isclose(v_rot @ v_rot, q[6:] @ q[6:], rtol=1e-12)

@@ -10,6 +10,7 @@ meshes) for a quick smoke pass of the whole suite.
 
 from __future__ import annotations
 
+import json
 import os
 import tempfile
 from functools import lru_cache
@@ -19,14 +20,43 @@ import numpy as np
 FAST = os.environ.get("REPRO_FAST", "0") == "1"
 
 _OUT_DIR = os.path.join(os.path.dirname(__file__), "out")
+_CREATED_DIRS: set[str] = set()
 
 
 def _print_header(name: str):
     print(f"\n[{name}] computing shared run (cached for this session) ...", flush=True)
 
 
+def _ensure_out_dir() -> str:
+    """Create ``benchmarks/out`` once per process (fresh clones lack it).
+
+    Memoized per path, not with a single flag, because the test suite
+    monkeypatches ``_OUT_DIR`` to a temporary directory.
+    """
+    out = _OUT_DIR
+    if out not in _CREATED_DIRS:
+        os.makedirs(out, exist_ok=True)
+        _CREATED_DIRS.add(out)
+    return out
+
+
+def _write_atomic(path: str, text: str) -> None:
+    out = os.path.dirname(path)
+    fd, tmp = tempfile.mkstemp(dir=out, prefix=f".{os.path.basename(path)}.", suffix=".tmp")
+    try:
+        with os.fdopen(fd, "w") as f:
+            f.write(text)
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+
+
 def report(name: str, lines: list[str], backend: str | None = None,
-           workers: int | None = None) -> None:
+           workers: int | None = None, metrics: dict | None = None) -> None:
     """Print a paper-vs-measured comparison and persist it to
     ``benchmarks/out/<name>.txt`` (the EXPERIMENTS.md source data).
 
@@ -35,7 +65,12 @@ def report(name: str, lines: list[str], backend: str | None = None,
     result file becomes ``<name>__<backend>[_wN].txt`` — serial and
     partitioned timings of the same benchmark never overwrite each other.
 
-    The file is written atomically (tmp file + ``os.replace``) so an
+    ``metrics`` is the machine-readable side-channel: when given, the dict
+    is written as ``<name>.json`` next to the text report, so benchmarks
+    can persist per-phase/per-kernel breakdowns (telemetry snapshots,
+    model numbers) without flattening them into the human-readable lines.
+
+    All files are written atomically (tmp file + ``os.replace``) so an
     interrupted benchmark never leaves a truncated results file behind.
     """
     if backend is not None:
@@ -44,18 +79,21 @@ def report(name: str, lines: list[str], backend: str | None = None,
         raise ValueError("workers= requires backend=")
     text = "\n".join(lines)
     print(f"\n===== {name} =====\n{text}\n", flush=True)
-    os.makedirs(_OUT_DIR, exist_ok=True)
-    fd, tmp = tempfile.mkstemp(dir=_OUT_DIR, prefix=f".{name}.", suffix=".tmp")
-    try:
-        with os.fdopen(fd, "w") as f:
-            f.write(text + "\n")
-        os.replace(tmp, os.path.join(_OUT_DIR, f"{name}.txt"))
-    except BaseException:
-        try:
-            os.unlink(tmp)
-        except OSError:
-            pass
-        raise
+    out = _ensure_out_dir()
+    _write_atomic(os.path.join(out, f"{name}.txt"), text + "\n")
+    if metrics is not None:
+        _write_atomic(
+            os.path.join(out, f"{name}.json"),
+            json.dumps(metrics, indent=2, default=_json_default) + "\n",
+        )
+
+
+def _json_default(obj):
+    if isinstance(obj, np.generic):
+        return obj.item()
+    if isinstance(obj, np.ndarray):
+        return obj.tolist()
+    return str(obj)
 
 
 # ----------------------------------------------------------------------

@@ -19,9 +19,11 @@ import numpy as np
 
 from _cache import report, scenario_a_config
 from repro.exec import clear_plan_cache, get_plan_cache
+from repro.obs import get_telemetry
 from repro.scenarios.scenario_a import build_coupled
 
 N_STEPS = 8
+N_PROFILE_STEPS = 2
 
 
 def _build(backend="serial", workers=None):
@@ -34,6 +36,26 @@ def _time_steps(solver, n_steps=N_STEPS):
     for _ in range(n_steps):
         solver.step()
     return (time.perf_counter() - t0) / n_steps
+
+
+def _profiled_snapshot(solver, n_steps=N_PROFILE_STEPS):
+    """Per-phase telemetry of ``n_steps`` extra (untimed) steps.
+
+    Run this only after the timed pass and any trajectory-equivalence
+    assertions: the extra steps advance the solver past the compared state.
+    """
+    tel = get_telemetry()
+    tel.reset()
+    tel.enable()
+    try:
+        for _ in range(n_steps):
+            solver.step()
+    finally:
+        tel.disable()
+    snap = tel.snapshot()
+    tel.reset()
+    return {"n_steps_profiled": n_steps, "phases": snap["phases"],
+            "counters": snap["counters"]}
 
 
 def test_b1_backend_scaling(benchmark):
@@ -61,7 +83,9 @@ def test_b1_backend_scaling(benchmark):
         f"{'serial':28} {per_step_serial:10.4f} {1.0:9.2f}",
     ]
     report("b1_backend_scaling", [f"per-step time: {per_step_serial:.4f} s"],
-           backend="serial")
+           backend="serial",
+           metrics={"per_step_s": per_step_serial,
+                    **_profiled_snapshot(serial)})
 
     speedups = {}
     for workers in (1, 2, 4):
@@ -75,7 +99,9 @@ def test_b1_backend_scaling(benchmark):
         rows.append(f"{'partitioned, %d worker(s)' % workers:28} "
                     f"{per_step:10.4f} {speedups[workers]:9.2f}")
         report("b1_backend_scaling", [f"per-step time: {per_step:.4f} s"],
-               backend="partitioned", workers=workers)
+               backend="partitioned", workers=workers,
+               metrics={"per_step_s": per_step, "speedup": speedups[workers],
+                        **_profiled_snapshot(solver)})
         solver.backend.close()
 
     # plan-cache warm hit: the operator build skips all flux-matrix setup

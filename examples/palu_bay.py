@@ -19,6 +19,7 @@ import numpy as np
 
 from repro.analysis.fields import sea_surface_grid
 from repro.core.lts import LocalTimeStepping
+from repro.obs import ObsSession, add_obs_args
 from repro.scenarios.palu import PaluConfig, build_coupled
 
 
@@ -45,7 +46,9 @@ def rupture_speed_along_strike(fault, y_min=-3000.0, y_max=3000.0):
 
 def main(t_end: float = 4.0, checkpoint_every: float | None = None,
          checkpoint_dir: str | None = None, resume: str | None = None,
-         backend: str = "serial", workers: int | None = None):
+         backend: str = "serial", workers: int | None = None,
+         profile: bool = False, log_json: str | None = None,
+         heartbeat_every: int | None = None):
     cfg = PaluConfig()
     solver, fault = build_coupled(cfg, backend=backend, workers=workers)
     print(f"mesh: {solver.mesh.n_elements} elements "
@@ -56,6 +59,10 @@ def main(t_end: float = 4.0, checkpoint_every: float | None = None,
     st = lts.statistics()
     print(f"LTS clusters {[int(c) for c in st['counts']]}, update reduction {st['speedup']:.2f}x")
 
+    obs = ObsSession(
+        profile=profile, log_json=log_json, heartbeat_every=heartbeat_every,
+        config={"command": "palu", "t_end": t_end, "backend": backend},
+    )
     runner = None
     if checkpoint_every or checkpoint_dir or resume:
         from repro.core.resilience import ResilientRunner
@@ -63,18 +70,20 @@ def main(t_end: float = 4.0, checkpoint_every: float | None = None,
         runner = ResilientRunner(
             solver, lts=lts,
             checkpoint_every=checkpoint_every, checkpoint_dir=checkpoint_dir,
+            runlog=obs.runlog,
         )
         if resume:
             runner.resume(resume)
+    obs.start(solver, resumed=bool(resume))
 
     checkpoints = np.linspace(t_end / 4, t_end, 4)
     for tc in checkpoints:
         if tc <= solver.t:
             continue  # already covered by the restored checkpoint
         if runner is not None:
-            runner.run(tc)
+            runner.run(tc, callback=obs.chain(None))
         else:
-            lts.run(tc)
+            lts.run(tc, callback=obs.chain(None))
         vr = rupture_speed_along_strike(fault)
         print(f"t = {tc:4.1f} s | ruptured {fault.ruptured_fraction() * 100:5.1f}% | "
               f"peak V {fault.peak_slip_rate.max():6.2f} m/s | "
@@ -99,6 +108,7 @@ def main(t_end: float = 4.0, checkpoint_every: float | None = None,
         ("SE", (X > cfg.fault_x) & (Y < 0)),
     ]:
         print(f"  mean eta {name}: {eta[mask].mean() * 100:+.2f} cm")
+    obs.finish(solver)
     return solver, fault
 
 
@@ -113,6 +123,8 @@ if __name__ == "__main__":
     ap.add_argument("--backend", default="serial", choices=["serial", "partitioned"])
     ap.add_argument("--workers", type=int, default=None,
                     help="thread-pool size for the partitioned backend")
+    add_obs_args(ap)
     args = ap.parse_args()
     main(args.t_end, args.checkpoint_every, args.checkpoint_dir, args.resume,
-         backend=args.backend, workers=args.workers)
+         backend=args.backend, workers=args.workers, profile=args.profile,
+         log_json=args.log_json, heartbeat_every=args.heartbeat_every)

@@ -24,11 +24,14 @@ from repro.analysis.receivers import ReceiverArray
 from repro.core.materials import acoustic, elastic
 from repro.core.solver import CoupledSolver, PointSource, ocean_surface_gravity_tagger
 from repro.mesh.generators import layered_ocean_mesh
+from repro.obs import ObsSession, add_obs_args
 
 
 def main(t_end: float = 2.5, checkpoint_every: float | None = None,
          checkpoint_dir: str | None = None, resume: str | None = None,
-         backend: str = "serial", workers: int | None = None):
+         backend: str = "serial", workers: int | None = None,
+         profile: bool = False, log_json: str | None = None,
+         heartbeat_every: int | None = None):
     # --- domain: 4 x 4 km, 1.5 km of crust under a 500 m ocean ----------
     crust = elastic(rho=2700.0, cp=4000.0, cs=2300.0)
     ocean = acoustic(rho=1000.0, cp=1500.0)
@@ -69,17 +72,24 @@ def main(t_end: float = 2.5, checkpoint_every: float | None = None,
         receivers(s)
         eta_peak["max"] = max(eta_peak["max"], float(np.abs(s.gravity.eta).max()))
 
+    obs = ObsSession(
+        profile=profile, log_json=log_json, heartbeat_every=heartbeat_every,
+        config={"command": "quickstart", "t_end": t_end, "backend": backend},
+    )
     if checkpoint_every or checkpoint_dir or resume:
         from repro.core.resilience import ResilientRunner
 
         runner = ResilientRunner(
-            solver, checkpoint_every=checkpoint_every, checkpoint_dir=checkpoint_dir
+            solver, checkpoint_every=checkpoint_every,
+            checkpoint_dir=checkpoint_dir, runlog=obs.runlog,
         )
         if resume:
             runner.resume(resume)
-        runner.run(t_end, callback=watch)
+        obs.start(solver, resumed=bool(resume))
+        runner.run(t_end, callback=obs.chain(watch))
     else:
-        solver.run(t_end, callback=watch)
+        obs.start(solver)
+        solver.run(t_end, callback=obs.chain(watch))
 
     # --- report ----------------------------------------------------------
     p = receivers.pressure()
@@ -92,6 +102,7 @@ def main(t_end: float = 2.5, checkpoint_every: float | None = None,
     k = np.argmax(np.abs(eta))
     print(f"largest remaining displacement above (x, y) = ({xy[k, 0]:.0f}, {xy[k, 1]:.0f}) m")
     print("energy in the domain:", f"{solver.energy():.3e} J")
+    obs.finish(solver)
     return solver
 
 
@@ -106,6 +117,8 @@ if __name__ == "__main__":
     ap.add_argument("--backend", default="serial", choices=["serial", "partitioned"])
     ap.add_argument("--workers", type=int, default=None,
                     help="thread-pool size for the partitioned backend")
+    add_obs_args(ap)
     args = ap.parse_args()
     main(args.t_end, args.checkpoint_every, args.checkpoint_dir, args.resume,
-         backend=args.backend, workers=args.workers)
+         backend=args.backend, workers=args.workers, profile=args.profile,
+         log_json=args.log_json, heartbeat_every=args.heartbeat_every)

@@ -21,6 +21,7 @@ import numpy as np
 
 from repro.analysis.fields import surface_eta_transect
 from repro.core.lts import LocalTimeStepping
+from repro.obs import ObsSession, add_obs_args
 from repro.scenarios.scenario_a import (
     ScenarioAConfig,
     build_coupled,
@@ -32,7 +33,9 @@ from repro.scenarios.scenario_a import (
 def main(t_end: float = 6.0, n_transect: int = 41,
          checkpoint_every: float | None = None,
          checkpoint_dir: str | None = None, resume: str | None = None,
-         backend: str = "serial", workers: int | None = None):
+         backend: str = "serial", workers: int | None = None,
+         profile: bool = False, log_json: str | None = None,
+         heartbeat_every: int | None = None):
     cfg = ScenarioAConfig()
 
     # --- fully coupled run ----------------------------------------------
@@ -44,18 +47,26 @@ def main(t_end: float = 6.0, n_transect: int = 41,
     lts = LocalTimeStepping(solver)
     print(f"  LTS clusters: {np.bincount(lts.cluster)} "
           f"(update reduction {lts.statistics()['speedup']:.2f}x)")
+    obs = ObsSession(
+        profile=profile, log_json=log_json, heartbeat_every=heartbeat_every,
+        config={"command": "scenario-a", "t_end": t_end, "backend": backend},
+    )
     if checkpoint_every or checkpoint_dir or resume:
         from repro.core.resilience import ResilientRunner
 
         runner = ResilientRunner(
             solver, lts=lts,
             checkpoint_every=checkpoint_every, checkpoint_dir=checkpoint_dir,
+            runlog=obs.runlog,
         )
         if resume:
             runner.resume(resume)
-        runner.run(t_end)
+        obs.start(solver, resumed=bool(resume))
+        runner.run(t_end, callback=obs.chain(None))
     else:
-        lts.run(t_end)
+        obs.start(solver)
+        lts.run(t_end, callback=obs.chain(None))
+    obs.finish(solver)
     print(f"  rupture: Mw {fault.moment_magnitude():.2f}, "
           f"peak slip {fault.slip.max():.2f} m, "
           f"peak slip rate {fault.peak_slip_rate.max():.1f} m/s")
@@ -108,7 +119,9 @@ if __name__ == "__main__":
     ap.add_argument("--backend", default="serial", choices=["serial", "partitioned"])
     ap.add_argument("--workers", type=int, default=None,
                     help="thread-pool size for the partitioned backend")
+    add_obs_args(ap)
     args = ap.parse_args()
     main(args.t_end, checkpoint_every=args.checkpoint_every,
          checkpoint_dir=args.checkpoint_dir, resume=args.resume,
-         backend=args.backend, workers=args.workers)
+         backend=args.backend, workers=args.workers, profile=args.profile,
+         log_json=args.log_json, heartbeat_every=args.heartbeat_every)

@@ -25,7 +25,17 @@ silently corrupting the run.
 
 They also accept the execution-backend options ``--backend
 serial|partitioned`` and ``--workers N`` (thread-pool size for the
-partitioned backend; see README "Parallel execution").
+partitioned backend; see README "Parallel execution"), and the
+observability options ``--profile`` (phase telemetry + roofline report at
+exit), ``--log-json PATH`` (structured JSONL run records) and
+``--heartbeat-every N`` (heartbeat period in steps; see README
+"Observability").
+
+``obs-report RUN.jsonl [--node NAME] [--check]``
+    Summarize a structured run log: manifest, heartbeats, resilience
+    events, and — for profiled runs — the per-phase breakdown with
+    measured-vs-modeled GFLOP/s.  ``--check`` validates every record
+    against the schema first and exits non-zero on errors.
 """
 
 from __future__ import annotations
@@ -66,21 +76,32 @@ def main(argv=None) -> int:
             help="thread-pool size for the partitioned backend",
         )
 
+    from repro.obs import add_obs_args
+
     sub.add_parser("info", help="version and subsystem summary")
     p_q = sub.add_parser("quickstart", help="coupled Earth-ocean quickstart")
     p_q.add_argument("--t-end", type=float, default=2.5)
     add_resilience_args(p_q)
     add_backend_args(p_q)
+    add_obs_args(p_q)
     p_a = sub.add_parser("scenario-a", help="Scenario-A coupled vs linked (Fig. 3)")
     p_a.add_argument("--t-end", type=float, default=6.0)
     add_resilience_args(p_a)
     add_backend_args(p_a)
+    add_obs_args(p_a)
     p_p = sub.add_parser("palu", help="Palu supershear scenario (Fig. 1)")
     p_p.add_argument("--t-end", type=float, default=4.0)
     add_resilience_args(p_p)
     add_backend_args(p_p)
+    add_obs_args(p_p)
     sub.add_parser("scaling", help="strong scaling on simulated machines (Fig. 6)")
     sub.add_parser("acoustics", help="acoustic/gravity dispersion demo")
+    p_r = sub.add_parser("obs-report", help="summarize a JSONL run log")
+    p_r.add_argument("runlog", help="path to a --log-json run log")
+    p_r.add_argument("--node", default="rome",
+                     help="roofline node model (default: rome)")
+    p_r.add_argument("--check", action="store_true",
+                     help="validate every record against the schema first")
     args = ap.parse_args(argv)
 
     if args.command is None:
@@ -92,6 +113,13 @@ def main(argv=None) -> int:
         print(f"repro {repro.__version__} — SC'21 Palu earthquake-tsunami reproduction")
         print(__doc__)
         return 0
+    if args.command == "obs-report":
+        from repro.obs.report import KNOWN_NODES, summarize_runlog
+
+        if args.node not in KNOWN_NODES:
+            print(f"unknown node {args.node!r} (known: {', '.join(KNOWN_NODES)})")
+            return 2
+        return summarize_runlog(args.runlog, node=args.node, check=args.check)
 
     # the runnable demos live in <repo>/examples (editable install layout)
     import os
@@ -103,22 +131,24 @@ def main(argv=None) -> int:
         return 2
     sys.path.insert(0, examples_dir)
 
+    from repro.obs import obs_kwargs
+
     if args.command == "quickstart":
         from quickstart import main as run
 
         run(args.t_end, args.checkpoint_every, args.checkpoint_dir, args.resume,
-            backend=args.backend, workers=args.workers)
+            backend=args.backend, workers=args.workers, **obs_kwargs(args))
     elif args.command == "scenario-a":
         from scenario_a_benchmark import main as run
 
         run(args.t_end, checkpoint_every=args.checkpoint_every,
             checkpoint_dir=args.checkpoint_dir, resume=args.resume,
-            backend=args.backend, workers=args.workers)
+            backend=args.backend, workers=args.workers, **obs_kwargs(args))
     elif args.command == "palu":
         from palu_bay import main as run
 
         run(args.t_end, args.checkpoint_every, args.checkpoint_dir, args.resume,
-            backend=args.backend, workers=args.workers)
+            backend=args.backend, workers=args.workers, **obs_kwargs(args))
     elif args.command == "scaling":
         from scaling_study import main as run
 

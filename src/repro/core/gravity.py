@@ -26,12 +26,15 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..obs.telemetry import get_telemetry
 from .materials import SXX, VX
 from .riemann import FaceKind
 from .rk import RK4, ExactPropagator, rk_solve
 from .rotation import batched_state_rotation
 
 __all__ = ["GravityBoundary"]
+
+_TEL = get_telemetry()
 
 
 class GravityBoundary:
@@ -141,6 +144,10 @@ class GravityBoundary:
         ``derivs`` is the CK predictor of (at least) the adjacent elements,
         with expansion point at the beginning of the step.
         """
+        with _TEL.phase("gravity/ode"):
+            self._step(derivs, dt, out, face_mask)
+
+    def _step(self, derivs, dt, out, face_mask=None) -> None:
         if len(self.face_ids) == 0:
             return
         if face_mask is None:

@@ -104,21 +104,26 @@ class SimulationDiverged(RuntimeError):
     """Recovery exhausted: rollback + dt-backoff could not stabilize the run.
 
     Structured diagnostic for job-level tooling: the failing time/step, how
-    many recovery attempts were made, the final dt scale, and the watchdog
+    many recovery attempts were made, the final dt scale, the wall-clock
+    time spent on the failing segment (when known), and the watchdog
     reports of every failed attempt.
     """
 
     def __init__(self, *, t: float, step: int, attempts: int, dt_scale: float,
-                 reports: list):
+                 reports: list, wall_s: float | None = None):
         self.t = t
         self.step = step
         self.attempts = attempts
         self.dt_scale = dt_scale
+        self.wall_s = wall_s
         self.reports = list(reports)
-        lines = [
+        head = (
             f"simulation diverged at t={t:.6g} (step {step}) after "
-            f"{attempts} recovery attempt(s); final dt scale {dt_scale:.3g}",
-        ]
+            f"{attempts} recovery attempt(s); final dt scale {dt_scale:.3g}"
+        )
+        if wall_s is not None:
+            head += f"; {wall_s:.2f} s wall spent on the failing segment"
+        lines = [head]
         for r in self.reports[-3:]:
             lines.append("  " + (r.describe() if isinstance(r, HealthReport) else str(r)))
         super().__init__("\n".join(lines))
@@ -129,6 +134,7 @@ class SimulationDiverged(RuntimeError):
             "step": self.step,
             "attempts": self.attempts,
             "dt_scale": self.dt_scale,
+            "wall_s": self.wall_s,
             "failures": [
                 r.describe() if isinstance(r, HealthReport) else str(r)
                 for r in self.reports

@@ -24,6 +24,7 @@ import numpy as np
 
 from ..core.riemann import FaceKind
 from ..exec.plan_cache import OperatorPlan, get_plan_cache
+from ..obs.telemetry import get_telemetry
 from .ader import ck_derivatives, star_matrices
 from .basis import get_reference_element
 from .materials import jacobians
@@ -36,6 +37,8 @@ from .riemann import (
 from .rotation import batched_state_rotation
 
 __all__ = ["SpatialOperator"]
+
+_TEL = get_telemetry()
 
 
 class _InteriorGroup:
@@ -106,6 +109,10 @@ class SpatialOperator:
         the flux seen by the element owning ``normals`` (its outward side)
         is ``F_minus @ q_own + F_plus @ q_neigh``.
         """
+        with _TEL.phase("riemann_flux"):
+            return self._face_flux_matrices_impl(mat_m_ids, mat_p_ids, normals)
+
+    def _face_flux_matrices_impl(self, mat_m_ids, mat_p_ids, normals):
         nf = len(mat_m_ids)
         T, Tinv = batched_state_rotation(normals)
         Fm = np.empty((nf, 9, 9))
@@ -275,6 +282,10 @@ class SpatialOperator:
 
     def volume_residual(self, I: np.ndarray, out: np.ndarray, active=None) -> None:
         """Add the stiffness (volume) term of the corrector to ``out``."""
+        with _TEL.phase("kernels/volume"):
+            self._volume_residual(I, out, active)
+
+    def _volume_residual(self, I, out, active=None) -> None:
         if active is None:
             Ie, starT, tgt = I, self.starT, slice(None)
         else:
@@ -291,6 +302,10 @@ class SpatialOperator:
         face receive contributions — needed by local time-stepping, where a
         face between clusters is visited by each side at its own cadence.
         """
+        with _TEL.phase("kernels/surface_interior"):
+            self._interior_residual(I, out, active)
+
+    def _interior_residual(self, I, out, active=None) -> None:
         ref = self.ref
         w = ref.face_weights
         for grp in self.interior_groups:
@@ -343,6 +358,10 @@ class SpatialOperator:
 
     def boundary_residual(self, I: np.ndarray, out: np.ndarray, active=None) -> None:
         """Add free-surface / absorbing boundary fluxes to ``out``."""
+        with _TEL.phase("kernels/surface_boundary"):
+            self._boundary_residual(I, out, active)
+
+    def _boundary_residual(self, I, out, active=None) -> None:
         ref = self.ref
         w = ref.face_weights
         for grp in self.boundary_groups:

@@ -27,10 +27,13 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..obs.telemetry import get_telemetry
 from .ader import taylor_integrate
 from .cfl import element_timesteps
 
 __all__ = ["cluster_elements", "lts_statistics", "LocalTimeStepping"]
+
+_TEL = get_telemetry()
 
 
 def cluster_elements(
@@ -202,6 +205,9 @@ class LocalTimeStepping:
             )
             t_int[c] += steps_int[c]
             self.updates[c] += 1
+            if _TEL.enabled:
+                _TEL.count(f"lts/updates/c{c}")
+                _TEL.count(f"lts/elem_updates/c{c}", int(self.elem_count[c]))
             if callback is not None and t_int.min() >= next_sync:
                 solver.t = self._t0 + next_sync * dt_min
                 callback(solver)

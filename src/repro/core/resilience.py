@@ -27,6 +27,7 @@ checkpoint matches the uninterrupted run exactly (asserted by the tests).
 from __future__ import annotations
 
 import os
+import time
 import warnings
 
 from ..io.checkpoint import (
@@ -69,6 +70,10 @@ class ResilientRunner:
     injector:
         Optional :class:`~repro.core.health.inject.FaultInjector` for
         deterministic failure testing.
+    runlog:
+        Optional :class:`~repro.obs.runlog.RunLog`; checkpoint, resume,
+        recovery and divergence events are appended to it as structured
+        records alongside whatever the caller logs.
     """
 
     def __init__(
@@ -83,6 +88,7 @@ class ResilientRunner:
         backoff: float = 0.5,
         injector=None,
         verbose: bool = True,
+        runlog=None,
     ):
         if lts is not None and lts.solver is not solver:
             raise ValueError("lts wraps a different solver instance")
@@ -98,6 +104,7 @@ class ResilientRunner:
         self.backoff = backoff
         self.injector = injector
         self.verbose = verbose
+        self.runlog = runlog
         self.manager = (
             CheckpointManager(checkpoint_dir, solver, lts, keep=keep)
             if checkpoint_dir
@@ -145,6 +152,10 @@ class ResilientRunner:
         except (TypeError, ValueError):
             self.step_count = 0
         self.watchdog.reset()
+        if self.runlog is not None:
+            self.runlog.emit(
+                "resume", path=path, step=self.step_count, sim_t=self.solver.t
+            )
         if self.verbose:
             print(
                 f"[resilience] resumed from {path} at t={self.solver.t:.6g} "
@@ -167,6 +178,7 @@ class ResilientRunner:
                 target = t_end
             attempts = 0
             reports = []
+            seg_wall0 = time.perf_counter()
             while True:
                 try:
                     self._advance(target, callback)
@@ -175,24 +187,40 @@ class ResilientRunner:
                     attempts += 1
                     self.rollbacks += 1
                     reports.append(err.report)
+                    seg_wall = time.perf_counter() - seg_wall0
                     if attempts > self.max_retries:
+                        if self.runlog is not None:
+                            self.runlog.emit(
+                                "diverged", step=err.report.step,
+                                sim_t=err.report.t, attempts=attempts,
+                                dt_scale=self.dt_scale, wall_s=seg_wall,
+                            )
                         raise SimulationDiverged(
                             t=err.report.t,
                             step=err.report.step,
                             attempts=attempts,
                             dt_scale=self.dt_scale,
                             reports=reports,
+                            wall_s=seg_wall,
                         ) from err
                     self._rollback(snap)
                     self.dt_scale = (
                         min(self.dt_scale, snap["dt_scale"]) * self.backoff
                     )
+                    if self.runlog is not None:
+                        self.runlog.emit(
+                            "recovery", step=err.report.step, sim_t=err.report.t,
+                            attempt=attempts, max_retries=self.max_retries,
+                            dt_scale=self.dt_scale, wall_s=seg_wall,
+                            reason=err.report.describe(),
+                        )
                     if self.verbose:
                         print(
                             f"[resilience] {err.report.describe()} — rolled "
                             f"back to t={solver.t:.6g}, retry {attempts}/"
                             f"{self.max_retries} with dt scale "
-                            f"{self.dt_scale:.3g}"
+                            f"{self.dt_scale:.3g} "
+                            f"({seg_wall:.2f} s wall on this segment)"
                         )
             # healthy segment: relax the backoff and persist
             self.dt_scale = min(1.0, self.dt_scale / self.backoff)
@@ -277,3 +305,8 @@ class ResilientRunner:
             )
         else:
             self.checkpoints_written.append(path)
+            if self.runlog is not None:
+                self.runlog.emit(
+                    "checkpoint", path=path, step=self.step_count,
+                    sim_t=self.solver.t,
+                )

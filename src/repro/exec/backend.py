@@ -26,8 +26,11 @@ from __future__ import annotations
 import numpy as np
 
 from ..core.ader import ck_derivatives, taylor_integrate
+from ..obs.telemetry import get_telemetry
 
 __all__ = ["ExecutionBackend", "SerialBackend", "make_backend", "available_backends"]
+
+_TEL = get_telemetry()
 
 
 class ExecutionBackend:
@@ -91,16 +94,31 @@ class SerialBackend(ExecutionBackend):
     name = "serial"
 
     def predict(self, Q: np.ndarray) -> np.ndarray:
-        return self.solver.op.predict(Q)
+        with _TEL.phase("predict"):
+            if _TEL.enabled:
+                _TEL.count("elem_updates/predictor", len(Q))
+            return self.solver.op.predict(Q)
 
     def update_predictor(self, Q, mask, dt, derivs, Iown) -> None:
         op = self.solver.op
-        new_derivs = ck_derivatives(Q[mask], op.star[mask], op.ref)
-        derivs[mask] = new_derivs
-        Iown[mask] = taylor_integrate(new_derivs, 0.0, dt)
+        with _TEL.phase("predict"):
+            if _TEL.enabled:
+                _TEL.count("elem_updates/predictor", int(mask.sum()))
+            new_derivs = ck_derivatives(Q[mask], op.star[mask], op.ref)
+            derivs[mask] = new_derivs
+            Iown[mask] = taylor_integrate(new_derivs, 0.0, dt)
 
     def corrector(self, I, derivs, dt, t0, active=None,
                   gravity_mask=None, motion_mask=None) -> np.ndarray:
+        if _TEL.enabled:
+            _TEL.count("elem_updates/corrector",
+                       len(I) if active is None else int(active.sum()))
+        with _TEL.phase("corrector"):
+            return self._corrector(I, derivs, dt, t0, active,
+                                   gravity_mask, motion_mask)
+
+    def _corrector(self, I, derivs, dt, t0, active,
+                   gravity_mask, motion_mask) -> np.ndarray:
         solver = self.solver
         out = solver.op.apply(I, active)
         solver.gravity.step(derivs, dt, out, face_mask=gravity_mask)

@@ -33,6 +33,7 @@ friction laws may carry per-face parameter arrays.
 
 from __future__ import annotations
 
+import time as _time
 from dataclasses import dataclass
 
 import numpy as np
@@ -40,9 +41,12 @@ import numpy as np
 from ..core.ader import ck_derivatives, taylor_integrate
 from ..core.lts import cluster_elements
 from ..hpc.partition import edge_cut, eq28_vertex_weights, imbalance, partition_mesh
+from ..obs.telemetry import get_telemetry
 from .backend import ExecutionBackend
 
 __all__ = ["PartitionPlan", "PartitionedBackend", "fault_atomic_partition"]
+
+_TEL = get_telemetry()
 
 
 def fault_atomic_partition(mesh, parts: np.ndarray) -> np.ndarray:
@@ -197,7 +201,10 @@ class PartitionedBackend(ExecutionBackend):
         def work(plan):
             derivs[plan.owned] = ck_derivatives(Q[plan.owned], op.star[plan.owned], op.ref)
 
-        self._run(work)
+        with _TEL.phase("predict"):
+            if _TEL.enabled:
+                _TEL.count("elem_updates/predictor", len(Q))
+            self._run(work)
         return derivs
 
     def update_predictor(self, Q, mask, dt, derivs, Iown) -> None:
@@ -211,7 +218,10 @@ class PartitionedBackend(ExecutionBackend):
             derivs[ids] = new_derivs
             Iown[ids] = taylor_integrate(new_derivs, 0.0, dt)
 
-        self._run(work)
+        with _TEL.phase("predict"):
+            if _TEL.enabled:
+                _TEL.count("elem_updates/predictor", int(mask.sum()))
+            self._run(work)
 
     def corrector(self, I, derivs, dt, t0, active=None,
                   gravity_mask=None, motion_mask=None) -> np.ndarray:
@@ -219,6 +229,7 @@ class PartitionedBackend(ExecutionBackend):
         R = solver.op.new_state()
 
         def work(plan):
+            profiled = _TEL.enabled
             if active is None:
                 act = plan.owned_local
             else:
@@ -226,12 +237,19 @@ class PartitionedBackend(ExecutionBackend):
             if act.any():
                 # halo exchange: gather the time-integrated predictor of the
                 # owned elements plus the one-element halo layer
+                t_gather = _time.perf_counter() if profiled else 0.0
                 Iloc = I[plan.cells]
+                if profiled:
+                    t_compute = _time.perf_counter()
+                    _TEL.add_time(f"worker/p{plan.part_id}/halo_gather",
+                                  t_compute - t_gather)
                 outloc = np.zeros_like(Iloc)
                 plan.lop.volume_residual(Iloc, outloc, active=act)
                 plan.lop.interior_residual(Iloc, outloc, active=act)
                 plan.lop.boundary_residual(Iloc, outloc, active=act)
                 R[plan.cells[act]] = outloc[act]
+            elif profiled:
+                t_compute = _time.perf_counter()
             gm = plan.gravity_mask if gravity_mask is None \
                 else plan.gravity_mask & gravity_mask
             if gm.any():
@@ -244,8 +262,15 @@ class PartitionedBackend(ExecutionBackend):
             if solver.fault is not None and plan.has_fault:
                 act_g = plan.owned_mask if active is None else plan.owned_mask & active
                 solver.fault.step(derivs, dt, R, active=act_g, t0=t0)
+            if profiled:
+                _TEL.add_time(f"worker/p{plan.part_id}/compute",
+                              _time.perf_counter() - t_compute)
 
-        self._run(work)
+        with _TEL.phase("corrector"):
+            if _TEL.enabled:
+                _TEL.count("elem_updates/corrector",
+                           len(I) if active is None else int(active.sum()))
+            self._run(work)
         self.halo_exchanges += 1
         # point sources are few and cheap: applied once, after the barrier
         for s in solver.sources:

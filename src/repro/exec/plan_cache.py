@@ -36,6 +36,8 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from ..obs.telemetry import get_telemetry
+
 __all__ = [
     "mesh_fingerprint",
     "plan_key",
@@ -129,15 +131,20 @@ class PlanCache:
     def get_or_build(self, mesh, order: int, flux_variant: str, builder) -> OperatorPlan:
         """Return the cached plan for ``(mesh, order, flux_variant)`` or
         build (and cache) a fresh one with ``builder()``."""
+        tel = get_telemetry()
         if not self.enabled:
-            return builder()
+            with tel.phase("setup/plan_build"):
+                return builder()
         key = plan_key(mesh, order, flux_variant)
         plan = self.get(key)
         if plan is not None:
             self.hits += 1
+            tel.count("plan_cache/hits")
             return plan
         self.misses += 1
-        plan = builder()
+        tel.count("plan_cache/misses")
+        with tel.phase("setup/plan_build"):
+            plan = builder()
         self.put(key, plan)
         return plan
 

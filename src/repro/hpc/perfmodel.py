@@ -165,6 +165,19 @@ class NodePerformanceModel:
         c = self.counts
         return self._kernel_perf(c.flops_predictor, c.bytes_predictor, peak, bw)
 
+    def corrector_gflops(self, n_numa_used: int | None = None, ranks_per_node: int = 1) -> float:
+        """Corrector-only rate (GFLOP/s) with the NUMA gather penalty."""
+        n = self.node.n_numa if n_numa_used is None else n_numa_used
+        peak = self.node.peak_gflops * n / self.node.n_numa
+        bw = self.node.numa_bw_gbs * n
+
+        domains_per_rank = max(n / ranks_per_node, 1.0)
+        cross_frac = self._gather_share * (1.0 - 1.0 / domains_per_rank)
+        bw_corr = bw * (1.0 - cross_frac + cross_frac * self.remote_bw_ratio)
+        return self._kernel_perf(
+            self.counts.flops_corrector, self._corr_bytes, peak, bw_corr
+        )
+
     def full_gflops(self, n_numa_used: int | None = None, ranks_per_node: int = 1) -> float:
         """Predictor+corrector rate with the NUMA gather penalty.
 

@@ -33,6 +33,8 @@ import tempfile
 
 import numpy as np
 
+from ..obs.telemetry import get_telemetry
+
 __all__ = [
     "CheckpointError",
     "CHECKPOINT_VERSION",
@@ -181,6 +183,11 @@ def save_checkpoint(path: str, solver, lts=None, metadata: dict | None = None) -
     """
     if not path.endswith(".npz"):
         path = path + ".npz"
+    with get_telemetry().phase("io/checkpoint_save"):
+        return _save_checkpoint(path, solver, lts, metadata)
+
+
+def _save_checkpoint(path, solver, lts, metadata) -> str:
     arrays = capture_state(solver, lts)
     arrays["version"] = np.int64(CHECKPOINT_VERSION)
     arrays["fingerprint"] = np.array(fingerprint(solver))
@@ -218,7 +225,8 @@ def load_checkpoint(path: str) -> dict:
     ``state`` is the dict :func:`restore_state` accepts.
     """
     try:
-        with np.load(path, allow_pickle=False) as d:
+        with get_telemetry().phase("io/checkpoint_load"), \
+                np.load(path, allow_pickle=False) as d:
             data = {k: d[k] for k in d.files}
     except (OSError, ValueError) as exc:
         raise CheckpointError(f"cannot read checkpoint {path!r}: {exc}") from exc

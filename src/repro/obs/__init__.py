@@ -1,0 +1,33 @@
+"""Observability: phase telemetry, structured run logs, roofline reports.
+
+The measurement layer behind the paper's Sec. 5-6 performance story:
+
+* :mod:`repro.obs.telemetry` — default-off hierarchical phase timers and
+  monotonic counters instrumenting the solver's hot paths;
+* :mod:`repro.obs.runlog` — JSONL event sink (manifest, heartbeats,
+  resilience events) with an offline validator;
+* :mod:`repro.obs.report` — measured-vs-modeled GFLOP/s accounting
+  against :mod:`repro.hpc.perfmodel` (imported lazily: it pulls in the
+  HPC models);
+* :mod:`repro.obs.session` — :class:`ObsSession` wiring for the CLI's
+  ``--profile`` / ``--log-json`` / ``--heartbeat-every`` flags.
+"""
+
+from .runlog import EVENT_FIELDS, SCHEMA_VERSION, RunLog, run_manifest, validate_jsonl, validate_record
+from .session import ObsSession, add_obs_args, obs_kwargs
+from .telemetry import Telemetry, get_telemetry, timed
+
+__all__ = [
+    "Telemetry",
+    "get_telemetry",
+    "timed",
+    "RunLog",
+    "run_manifest",
+    "validate_record",
+    "validate_jsonl",
+    "EVENT_FIELDS",
+    "SCHEMA_VERSION",
+    "ObsSession",
+    "add_obs_args",
+    "obs_kwargs",
+]

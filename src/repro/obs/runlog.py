@@ -1,0 +1,238 @@
+"""Structured JSONL run logs: manifest, heartbeats, recovery events.
+
+A :class:`RunLog` appends one JSON object per line to a log file — the
+machine-readable counterpart of a production job's stdout.  Records share
+a tiny envelope (``event``, ``seq``, ``wall``, ``run_id``) and each event
+type carries a fixed set of required fields (:data:`EVENT_FIELDS`), so a
+log can be validated offline (:func:`validate_jsonl`, also exposed as
+``tools/check_runlog.py`` and ``python -m repro obs-report --check``).
+
+Events
+------
+``manifest``
+    Written once at run start (and again on every resume — the file is
+    opened in append mode, so a kill/resume cycle yields one well-formed
+    log with multiple manifests): solver configuration, mesh/material
+    fingerprint, execution backend, git revision and environment.
+``heartbeat``
+    Periodic liveness record: step, simulated time, nominal dt, discrete
+    energy and the wall-clock step rate since the previous heartbeat.
+``checkpoint`` / ``resume``
+    Emitted by :class:`~repro.core.resilience.ResilientRunner` around its
+    atomic checkpoint writes and restarts.
+``recovery`` / ``diverged``
+    The watchdog-trip/rollback events of the resilience supervisor,
+    including wall-clock timing and retry counts.
+``run_end``
+    Final record: step totals, wall time, and the full telemetry
+    snapshot (phases + counters) when profiling was enabled.
+``metrics``
+    Free-form measurement payloads (benchmark side-channels).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import subprocess
+import sys
+import threading
+import time
+import uuid
+
+import numpy as np
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "EVENT_FIELDS",
+    "RunLog",
+    "run_manifest",
+    "validate_record",
+    "validate_jsonl",
+]
+
+#: Bumped whenever the record envelope or required fields change.
+SCHEMA_VERSION = 1
+
+#: Required payload fields per event type (beyond the envelope fields
+#: ``event``/``seq``/``wall``/``run_id``, required on every record).
+EVENT_FIELDS: dict[str, tuple] = {
+    "manifest": ("schema", "config", "env", "git_rev", "resumed"),
+    "heartbeat": ("step", "sim_t", "dt", "energy", "wall_rate"),
+    "checkpoint": ("path", "step", "sim_t"),
+    "resume": ("path", "step", "sim_t"),
+    "recovery": ("step", "sim_t", "attempt", "max_retries", "dt_scale",
+                 "wall_s", "reason"),
+    "diverged": ("step", "sim_t", "attempts", "dt_scale", "wall_s"),
+    "run_end": ("steps", "wall_s", "phases", "counters"),
+    "metrics": (),
+}
+
+_ENVELOPE = ("event", "seq", "wall", "run_id")
+
+
+def _jsonable(obj):
+    """Coerce numpy scalars/arrays (and anything else) to JSON types."""
+    if isinstance(obj, dict):
+        return {str(k): _jsonable(v) for k, v in obj.items()}
+    if isinstance(obj, (list, tuple)):
+        return [_jsonable(v) for v in obj]
+    if isinstance(obj, np.generic):
+        return obj.item()
+    if isinstance(obj, np.ndarray):
+        return obj.tolist()
+    if isinstance(obj, (str, int, float, bool)) or obj is None:
+        return obj
+    return str(obj)
+
+
+class RunLog:
+    """Append-only, thread-safe JSONL event sink.
+
+    The file is always opened in append mode so resumed runs continue the
+    same log; every record is flushed on write so an abrupt kill loses at
+    most the record being written (and never corrupts earlier lines).
+    """
+
+    def __init__(self, path: str, run_id: str | None = None):
+        directory = os.path.dirname(os.path.abspath(path))
+        os.makedirs(directory, exist_ok=True)
+        self.path = path
+        self.run_id = run_id if run_id is not None else uuid.uuid4().hex[:12]
+        self._fh = open(path, "a", encoding="utf-8")
+        self._lock = threading.Lock()
+        self._seq = 0
+
+    def emit(self, event: str, **fields) -> None:
+        """Append one record; unknown event types are a programming error."""
+        if event not in EVENT_FIELDS:
+            raise ValueError(
+                f"unknown run-log event {event!r} "
+                f"(known: {', '.join(sorted(EVENT_FIELDS))})"
+            )
+        with self._lock:
+            if self._fh.closed:
+                return
+            rec = {"event": event, "seq": self._seq, "wall": time.time(),
+                   "run_id": self.run_id}
+            rec.update(fields)
+            self._fh.write(json.dumps(_jsonable(rec)) + "\n")
+            self._fh.flush()
+            self._seq += 1
+
+    def close(self) -> None:
+        with self._lock:
+            if not self._fh.closed:
+                self._fh.close()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        self.close()
+        return False
+
+
+# ----------------------------------------------------------------------
+def _git_rev() -> str:
+    """Best-effort git revision of the source tree (``"unknown"`` off-repo)."""
+    root = os.path.dirname(os.path.dirname(os.path.dirname(os.path.dirname(
+        os.path.abspath(__file__)))))
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "HEAD"], cwd=root, capture_output=True,
+            text=True, timeout=5,
+        )
+        rev = out.stdout.strip()
+        return rev if out.returncode == 0 and rev else "unknown"
+    except (OSError, subprocess.SubprocessError):
+        return "unknown"
+
+
+def run_manifest(solver=None, config: dict | None = None,
+                 argv=None, resumed: bool = False) -> dict:
+    """Manifest payload: everything needed to identify a run after the fact.
+
+    Covers the caller's config dict, the discrete-problem fingerprint (the
+    same digest checkpoints are keyed by), backend/worker placement, git
+    revision and the runtime environment.
+    """
+    man = {
+        "schema": SCHEMA_VERSION,
+        "config": dict(config or {}),
+        "argv": list(sys.argv if argv is None else argv),
+        "git_rev": _git_rev(),
+        "env": {
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+            "platform": platform.platform(),
+            "cpu_count": os.cpu_count(),
+        },
+        "resumed": bool(resumed),
+    }
+    if solver is not None:
+        from ..io.checkpoint import fingerprint
+
+        backend = getattr(solver, "backend", None)
+        man.update(
+            order=int(solver.order),
+            n_elements=int(solver.mesh.n_elements),
+            n_dof=int(solver.n_dof),
+            dt=float(solver.dt),
+            fingerprint=fingerprint(solver),
+            backend=backend.describe() if backend is not None else "none",
+            workers=int(getattr(backend, "workers", 1)),
+        )
+    return man
+
+
+# ----------------------------------------------------------------------
+def validate_record(rec) -> list[str]:
+    """Schema errors of one decoded record (empty list = valid)."""
+    if not isinstance(rec, dict):
+        return ["record is not a JSON object"]
+    errors = []
+    for key in _ENVELOPE:
+        if key not in rec:
+            errors.append(f"missing envelope field {key!r}")
+    event = rec.get("event")
+    if event is not None:
+        if event not in EVENT_FIELDS:
+            errors.append(f"unknown event type {event!r}")
+        else:
+            for field in EVENT_FIELDS[event]:
+                if field not in rec:
+                    errors.append(f"{event}: missing required field {field!r}")
+    if "seq" in rec and not isinstance(rec["seq"], int):
+        errors.append("seq is not an integer")
+    if "wall" in rec and not isinstance(rec["wall"], (int, float)):
+        errors.append("wall is not a number")
+    return errors
+
+
+def validate_jsonl(path: str) -> dict:
+    """Validate a whole run log.
+
+    Returns ``{"records": n, "events": {event: count}, "errors":
+    [(lineno, message), ...]}``; a log is valid iff ``errors`` is empty.
+    """
+    events: dict[str, int] = {}
+    errors: list[tuple[int, str]] = []
+    n = 0
+    with open(path, encoding="utf-8") as fh:
+        for lineno, line in enumerate(fh, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            n += 1
+            try:
+                rec = json.loads(line)
+            except json.JSONDecodeError as exc:
+                errors.append((lineno, f"invalid JSON: {exc}"))
+                continue
+            for msg in validate_record(rec):
+                errors.append((lineno, msg))
+            if isinstance(rec, dict) and isinstance(rec.get("event"), str):
+                events[rec["event"]] = events.get(rec["event"], 0) + 1
+    return {"records": n, "events": events, "errors": errors}

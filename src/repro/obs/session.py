@@ -1,0 +1,152 @@
+"""One-stop observability wiring for examples and the CLI.
+
+:class:`ObsSession` bundles the three observability features behind the
+shared ``--profile`` / ``--log-json`` / ``--heartbeat-every`` flags:
+
+* ``profile=True`` enables the global :class:`~repro.obs.telemetry.Telemetry`
+  registry for the run and prints the per-phase + roofline report at the
+  end;
+* ``log_json=PATH`` opens a structured :class:`~repro.obs.runlog.RunLog`
+  and writes the run manifest, periodic heartbeats and the final
+  ``run_end`` record (resilience events are routed into the same log by
+  passing ``session.runlog`` to ``ResilientRunner``);
+* ``heartbeat_every=N`` controls the heartbeat period in steps (default
+  10 when logging is on).
+
+Usage pattern (see ``examples/quickstart.py``)::
+
+    obs = ObsSession(profile=args.profile, log_json=args.log_json,
+                     heartbeat_every=args.heartbeat_every,
+                     config={"command": "quickstart", "t_end": t_end})
+    obs.start(solver, resumed=bool(resume))
+    solver.run(t_end, callback=obs.chain(my_callback))
+    obs.finish(solver)
+"""
+
+from __future__ import annotations
+
+import time
+
+from .runlog import RunLog, run_manifest
+from .telemetry import get_telemetry
+
+__all__ = ["ObsSession", "add_obs_args", "obs_kwargs"]
+
+
+class ObsSession:
+    """Run-scoped bundle of telemetry, run log and heartbeat emission."""
+
+    def __init__(self, profile: bool = False, log_json: str | None = None,
+                 heartbeat_every: int | None = None,
+                 config: dict | None = None, node: str = "rome"):
+        self.profile = bool(profile)
+        self.config = dict(config or {})
+        self.node = node
+        self.runlog = RunLog(log_json) if log_json else None
+        if heartbeat_every is None:
+            heartbeat_every = 10 if self.runlog is not None else 0
+        self.heartbeat_every = int(heartbeat_every)
+        self.steps = 0
+        self._t0 = None
+        self._hb_t = None
+        self._hb_step = 0
+        if self.profile:
+            tel = get_telemetry()
+            tel.reset()
+            tel.enable()
+
+    @property
+    def active(self) -> bool:
+        """Whether any observability feature is switched on."""
+        return self.profile or self.runlog is not None
+
+    # ------------------------------------------------------------------
+    def start(self, solver=None, resumed: bool = False) -> None:
+        """Mark run start; writes the manifest when logging is enabled."""
+        self._t0 = time.perf_counter()
+        self._hb_t = self._t0
+        self._hb_step = 0
+        if self.runlog is not None:
+            self.runlog.emit(
+                "manifest",
+                **run_manifest(solver, config=self.config, resumed=resumed),
+            )
+
+    def on_step(self, solver) -> None:
+        """Per-step hook: counts steps, emits periodic heartbeats."""
+        self.steps += 1
+        if (self.runlog is not None and self.heartbeat_every > 0
+                and self.steps % self.heartbeat_every == 0):
+            now = time.perf_counter()
+            span = now - (self._hb_t if self._hb_t is not None else now)
+            n = self.steps - self._hb_step
+            self.runlog.emit(
+                "heartbeat",
+                step=self.steps,
+                sim_t=float(solver.t),
+                dt=float(solver.dt),
+                energy=float(solver.energy()),
+                wall_rate=n / span if span > 0 else 0.0,
+            )
+            self._hb_t, self._hb_step = now, self.steps
+
+    def chain(self, callback=None):
+        """Compose ``on_step`` with a caller's per-step callback."""
+        if not self.active:
+            return callback
+        if callback is None:
+            return self.on_step
+
+        def combined(solver):
+            callback(solver)
+            self.on_step(solver)
+
+        return combined
+
+    # ------------------------------------------------------------------
+    def finish(self, solver=None) -> None:
+        """Emit ``run_end``, close the log, print the profile report."""
+        wall = (time.perf_counter() - self._t0) if self._t0 is not None else 0.0
+        snap = get_telemetry().snapshot() if self.profile else {"phases": {}, "counters": {}}
+        if self.runlog is not None:
+            self.runlog.emit(
+                "run_end", steps=self.steps, wall_s=wall,
+                phases=snap["phases"], counters=snap["counters"],
+            )
+            self.runlog.close()
+        if self.profile:
+            from .report import profile_lines
+
+            order = int(solver.order) if solver is not None else None
+            print()
+            print(f"== profile ({self.steps} steps, {wall:.2f} s wall) ==")
+            for line in profile_lines(snap, order=order, wall_s=wall,
+                                      node=self.node):
+                print(line)
+            get_telemetry().disable()
+
+
+# ----------------------------------------------------------------------
+def add_obs_args(parser) -> None:
+    """Attach the shared observability flags to an argparse parser."""
+    parser.add_argument(
+        "--profile", action="store_true",
+        help="enable phase telemetry and print a roofline report at exit",
+    )
+    parser.add_argument(
+        "--log-json", default=None, metavar="PATH",
+        help="append structured JSONL run records (manifest/heartbeat/...) to PATH",
+    )
+    parser.add_argument(
+        "--heartbeat-every", type=int, default=None, metavar="N",
+        help="heartbeat record period in steps (default 10 when logging)",
+    )
+
+
+def obs_kwargs(args) -> dict:
+    """Extract the observability kwargs from parsed CLI args."""
+    return {
+        "profile": getattr(args, "profile", False),
+        "log_json": getattr(args, "log_json", None),
+        "heartbeat_every": getattr(args, "heartbeat_every", None),
+    }

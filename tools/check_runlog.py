@@ -1,0 +1,61 @@
+#!/usr/bin/env python3
+"""Validate a structured run log (JSONL) produced with ``--log-json``.
+
+Checks every line against the repro.obs schema and optionally enforces
+minimum content requirements (used by CI to assert that a kill/resume
+pair actually produced two manifests and a stream of heartbeats).
+
+Exit status: 0 when the log is valid and all requirements hold,
+1 otherwise.
+
+Run:  python tools/check_runlog.py RUN.jsonl [--min-manifests 2] [--require-heartbeat]
+"""
+
+import argparse
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.obs import validate_jsonl  # noqa: E402
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("runlog", help="path to the JSONL run log")
+    ap.add_argument("--min-manifests", type=int, default=1,
+                    help="minimum number of manifest events (default 1; "
+                    "a kill/resume pair should have 2)")
+    ap.add_argument("--require-heartbeat", action="store_true",
+                    help="fail unless at least one heartbeat event is present")
+    args = ap.parse_args(argv)
+
+    if not os.path.exists(args.runlog):
+        print(f"check_runlog: {args.runlog}: no such file", file=sys.stderr)
+        return 1
+
+    result = validate_jsonl(args.runlog)
+    ok = True
+    for lineno, msg in result["errors"]:
+        print(f"{args.runlog}:{lineno}: {msg}", file=sys.stderr)
+        ok = False
+
+    events = result["events"]
+    n_manifests = events.get("manifest", 0)
+    if n_manifests < args.min_manifests:
+        print(f"check_runlog: {n_manifests} manifest event(s), "
+              f"need >= {args.min_manifests}", file=sys.stderr)
+        ok = False
+    if args.require_heartbeat and events.get("heartbeat", 0) < 1:
+        print("check_runlog: no heartbeat events", file=sys.stderr)
+        ok = False
+
+    summary = ", ".join(f"{k}={v}" for k, v in sorted(events.items()))
+    status = "OK" if ok else "FAIL"
+    print(f"check_runlog: {args.runlog}: {result['records']} record(s) "
+          f"[{summary}] -> {status}")
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

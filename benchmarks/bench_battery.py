@@ -1,0 +1,43 @@
+"""Battery: the standardized kernel micro-benchmark battery.
+
+Runs :func:`repro.obs.bench.run_battery` — the same battery behind
+``python -m repro bench`` and the CI perf job — and persists the record
+to ``benchmarks/out`` for the EXPERIMENTS.md trajectory.  Unlike the CLI,
+this entry point does **not** append to the repo-root ``BENCH_*.json``
+history (the smoke suite must not dirty the committed trajectory with
+tiny-mesh numbers); committing trajectory points is the CLI/CI job's
+responsibility.
+
+Sanity gates: every battery kernel must be present with a positive
+best-of-repeats time, and the roofline-modeled kernels must not beat the
+nominal local roofline (which would mean broken timing or FLOP
+accounting, the same invariant ``tools/bench_compare.py`` enforces).
+"""
+
+from _cache import report
+from repro.obs.bench import BATTERY_KERNELS, battery_lines, run_battery
+
+#: slack on the roofline bound (timer jitter on sub-ms kernels)
+ROOFLINE_SLACK = 1.05
+
+
+def test_bench_battery(benchmark):
+    record, path = benchmark.pedantic(
+        lambda: run_battery(node="local", append=False), rounds=1, iterations=1
+    )
+    assert path is None
+
+    benches = record["benches"]
+    for name in BATTERY_KERNELS:
+        assert name in benches, f"battery kernel {name} missing"
+        assert benches[name]["seconds"] > 0.0
+
+    for name in ("predictor", "corrector"):
+        cell = benches[name]
+        assert cell["gflops"] <= cell["model_gflops"] * ROOFLINE_SLACK, (
+            f"{name} measured {cell['gflops']:.2f} GFLOP/s above the "
+            f"{cell['model_gflops']:.2f} GFLOP/s roofline: timing or FLOP "
+            "accounting is broken"
+        )
+
+    report("battery", battery_lines(record), metrics=record)

@@ -47,7 +47,8 @@ def rupture_speed_along_strike(fault, y_min=-3000.0, y_max=3000.0):
 def main(t_end: float = 4.0, checkpoint_every: float | None = None,
          checkpoint_dir: str | None = None, resume: str | None = None,
          backend: str = "serial", workers: int | None = None,
-         profile: bool = False, log_json: str | None = None,
+         profile: bool = False, trace: str | None = None,
+         log_json: str | None = None,
          heartbeat_every: int | None = None):
     cfg = PaluConfig()
     solver, fault = build_coupled(cfg, backend=backend, workers=workers)
@@ -60,7 +61,8 @@ def main(t_end: float = 4.0, checkpoint_every: float | None = None,
     print(f"LTS clusters {[int(c) for c in st['counts']]}, update reduction {st['speedup']:.2f}x")
 
     obs = ObsSession(
-        profile=profile, log_json=log_json, heartbeat_every=heartbeat_every,
+        profile=profile, trace=trace, log_json=log_json,
+        heartbeat_every=heartbeat_every,
         config={"command": "palu", "t_end": t_end, "backend": backend},
     )
     runner = None
@@ -127,4 +129,5 @@ if __name__ == "__main__":
     args = ap.parse_args()
     main(args.t_end, args.checkpoint_every, args.checkpoint_dir, args.resume,
          backend=args.backend, workers=args.workers, profile=args.profile,
-         log_json=args.log_json, heartbeat_every=args.heartbeat_every)
+         trace=args.trace, log_json=args.log_json,
+         heartbeat_every=args.heartbeat_every)

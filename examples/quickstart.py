@@ -30,7 +30,8 @@ from repro.obs import ObsSession, add_obs_args
 def main(t_end: float = 2.5, checkpoint_every: float | None = None,
          checkpoint_dir: str | None = None, resume: str | None = None,
          backend: str = "serial", workers: int | None = None,
-         profile: bool = False, log_json: str | None = None,
+         profile: bool = False, trace: str | None = None,
+         log_json: str | None = None,
          heartbeat_every: int | None = None):
     # --- domain: 4 x 4 km, 1.5 km of crust under a 500 m ocean ----------
     crust = elastic(rho=2700.0, cp=4000.0, cs=2300.0)
@@ -73,7 +74,8 @@ def main(t_end: float = 2.5, checkpoint_every: float | None = None,
         eta_peak["max"] = max(eta_peak["max"], float(np.abs(s.gravity.eta).max()))
 
     obs = ObsSession(
-        profile=profile, log_json=log_json, heartbeat_every=heartbeat_every,
+        profile=profile, trace=trace, log_json=log_json,
+        heartbeat_every=heartbeat_every,
         config={"command": "quickstart", "t_end": t_end, "backend": backend},
     )
     if checkpoint_every or checkpoint_dir or resume:
@@ -121,4 +123,5 @@ if __name__ == "__main__":
     args = ap.parse_args()
     main(args.t_end, args.checkpoint_every, args.checkpoint_dir, args.resume,
          backend=args.backend, workers=args.workers, profile=args.profile,
-         log_json=args.log_json, heartbeat_every=args.heartbeat_every)
+         trace=args.trace, log_json=args.log_json,
+         heartbeat_every=args.heartbeat_every)

@@ -34,7 +34,8 @@ def main(t_end: float = 6.0, n_transect: int = 41,
          checkpoint_every: float | None = None,
          checkpoint_dir: str | None = None, resume: str | None = None,
          backend: str = "serial", workers: int | None = None,
-         profile: bool = False, log_json: str | None = None,
+         profile: bool = False, trace: str | None = None,
+         log_json: str | None = None,
          heartbeat_every: int | None = None):
     cfg = ScenarioAConfig()
 
@@ -48,7 +49,8 @@ def main(t_end: float = 6.0, n_transect: int = 41,
     print(f"  LTS clusters: {np.bincount(lts.cluster)} "
           f"(update reduction {lts.statistics()['speedup']:.2f}x)")
     obs = ObsSession(
-        profile=profile, log_json=log_json, heartbeat_every=heartbeat_every,
+        profile=profile, trace=trace, log_json=log_json,
+        heartbeat_every=heartbeat_every,
         config={"command": "scenario-a", "t_end": t_end, "backend": backend},
     )
     if checkpoint_every or checkpoint_dir or resume:
@@ -124,4 +126,5 @@ if __name__ == "__main__":
     main(args.t_end, checkpoint_every=args.checkpoint_every,
          checkpoint_dir=args.checkpoint_dir, resume=args.resume,
          backend=args.backend, workers=args.workers, profile=args.profile,
-         log_json=args.log_json, heartbeat_every=args.heartbeat_every)
+         trace=args.trace, log_json=args.log_json,
+         heartbeat_every=args.heartbeat_every)

@@ -27,7 +27,8 @@ They also accept the execution-backend options ``--backend
 serial|partitioned`` and ``--workers N`` (thread-pool size for the
 partitioned backend; see README "Parallel execution"), and the
 observability options ``--profile`` (phase telemetry + roofline report at
-exit), ``--log-json PATH`` (structured JSONL run records) and
+exit), ``--trace PATH`` (span timeline exported as Chrome-trace/Perfetto
+JSON), ``--log-json PATH`` (structured JSONL run records) and
 ``--heartbeat-every N`` (heartbeat period in steps; see README
 "Observability").
 
@@ -36,6 +37,15 @@ exit), ``--log-json PATH`` (structured JSONL run records) and
     events, and — for profiled runs — the per-phase breakdown with
     measured-vs-modeled GFLOP/s.  ``--check`` validates every record
     against the schema first and exits non-zero on errors.
+``obs-trace RUN.trace.json [--check]``
+    Summarize a ``--trace`` export: wall span, per-lane busy/idle,
+    hottest span names, critical-path estimate and halo-gather vs
+    compute overlap.  ``--check`` validates the Chrome-trace schema
+    first and exits non-zero on errors.
+``bench [--out PATH] [--node NAME]``
+    Run the standardized kernel benchmark battery and append a
+    schema-versioned record to ``BENCH_<host-context>.json`` (compare
+    records with ``tools/bench_compare.py``).
 """
 
 from __future__ import annotations
@@ -102,6 +112,15 @@ def main(argv=None) -> int:
                      help="roofline node model (default: rome)")
     p_r.add_argument("--check", action="store_true",
                      help="validate every record against the schema first")
+    p_t = sub.add_parser("obs-trace", help="summarize a Chrome-trace/Perfetto export")
+    p_t.add_argument("trace", help="path to a --trace JSON export")
+    p_t.add_argument("--check", action="store_true",
+                     help="validate the Chrome-trace schema first")
+    p_b = sub.add_parser("bench", help="run the kernel benchmark battery")
+    p_b.add_argument("--out", default=None, metavar="PATH",
+                     help="history file (default: BENCH_<host-context>.json at repo root)")
+    p_b.add_argument("--node", default="local",
+                     help="roofline node model for predicted bounds (default: local)")
     args = ap.parse_args(argv)
 
     if args.command is None:
@@ -120,6 +139,19 @@ def main(argv=None) -> int:
             print(f"unknown node {args.node!r} (known: {', '.join(KNOWN_NODES)})")
             return 2
         return summarize_runlog(args.runlog, node=args.node, check=args.check)
+    if args.command == "obs-trace":
+        from repro.obs.trace import summarize_trace_file
+
+        return summarize_trace_file(args.trace, check=args.check)
+    if args.command == "bench":
+        from repro.obs.bench import battery_lines, run_battery
+
+        record, path = run_battery(out=args.out, node=args.node)
+        for line in battery_lines(record):
+            print(line)
+        print(f"bench: appended record to {path} "
+              "(compare with tools/bench_compare.py)")
+        return 0
 
     # the runnable demos live in <repo>/examples (editable install layout)
     import os

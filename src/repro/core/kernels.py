@@ -102,12 +102,16 @@ class SpatialOperator:
         return np.zeros((self.n_elements, self.nbasis, 9))
 
     # ------------------------------------------------------------------
-    def _face_flux_matrices(self, mat_m_ids, mat_p_ids, normals):
+    def face_flux_matrices(self, mat_m_ids, mat_p_ids, normals):
         """Vectorized Godunov flux matrices for a batch of faces.
 
         Returns ``(F_minus, F_plus)`` with shapes ``(nf, 9, 9)``:
         the flux seen by the element owning ``normals`` (its outward side)
         is ``F_minus @ q_own + F_plus @ q_neigh``.
+
+        Public (besides the internal plan build) because the benchmark
+        battery (:mod:`repro.obs.bench`) times the Riemann-flux setup path
+        in isolation.
         """
         with _TEL.phase("riemann_flux"):
             return self._face_flux_matrices_impl(mat_m_ids, mat_p_ids, normals)
@@ -141,8 +145,8 @@ class SpatialOperator:
         mat_ids = self.mesh.material_ids
         em_mat = mat_ids[itf.minus_elem[ids]]
         ep_mat = mat_ids[itf.plus_elem[ids]]
-        Fmm, Fpm = self._face_flux_matrices(em_mat, ep_mat, itf.normal[ids])
-        Fmp, Fpp = self._face_flux_matrices(ep_mat, em_mat, -itf.normal[ids])
+        Fmm, Fpm = self.face_flux_matrices(em_mat, ep_mat, itf.normal[ids])
+        Fmp, Fpp = self.face_flux_matrices(ep_mat, em_mat, -itf.normal[ids])
 
         # per-face corrector scale: -(2 * area) / det_jac  (reference face
         # weights sum to 1/2, mass matrix on the reference tet is |J| * I)

@@ -200,9 +200,22 @@ class LocalTimeStepping:
             if not candidates:
                 raise RuntimeError("LTS scheduler deadlock (inconsistent clustering)")
             _, _, c = min(candidates)
-            self._step_cluster(
-                c, t_int, pred_int, steps_int, dt_min, dts, derivs, Iown, Ibuf, end_int
-            )
+            # trace slice per cluster step: the Perfetto timeline colors
+            # these by cluster id, exposing the rate-2 update cadence
+            if _TEL.enabled and _TEL.tracing:
+                with _TEL.trace_span("lts/cluster", cluster=int(c),
+                                     elems=int(self.elem_count[c]),
+                                     t_int=int(t_int[c]),
+                                     dt=float(dts[c])):
+                    self._step_cluster(
+                        c, t_int, pred_int, steps_int, dt_min, dts, derivs,
+                        Iown, Ibuf, end_int
+                    )
+            else:
+                self._step_cluster(
+                    c, t_int, pred_int, steps_int, dt_min, dts, derivs, Iown,
+                    Ibuf, end_int
+                )
             t_int[c] += steps_int[c]
             self.updates[c] += 1
             if _TEL.enabled:

@@ -197,9 +197,14 @@ class PartitionedBackend(ExecutionBackend):
     def predict(self, Q: np.ndarray) -> np.ndarray:
         op = self.solver.op
         derivs = np.empty((len(Q), op.order + 1, op.nbasis, 9))
+        tracing = _TEL.enabled and _TEL.tracing
 
         def work(plan):
+            t0 = _time.perf_counter() if tracing else 0.0
             derivs[plan.owned] = ck_derivatives(Q[plan.owned], op.star[plan.owned], op.ref)
+            if tracing:
+                _TEL.add_span("worker/predict", t0, _time.perf_counter(),
+                              part=plan.part_id, owned=plan.n_owned)
 
         with _TEL.phase("predict"):
             if _TEL.enabled:
@@ -209,14 +214,19 @@ class PartitionedBackend(ExecutionBackend):
 
     def update_predictor(self, Q, mask, dt, derivs, Iown) -> None:
         op = self.solver.op
+        tracing = _TEL.enabled and _TEL.tracing
 
         def work(plan):
             ids = plan.owned_mask & mask
             if not ids.any():
                 return
+            t0 = _time.perf_counter() if tracing else 0.0
             new_derivs = ck_derivatives(Q[ids], op.star[ids], op.ref)
             derivs[ids] = new_derivs
             Iown[ids] = taylor_integrate(new_derivs, 0.0, dt)
+            if tracing:
+                _TEL.add_span("worker/predict", t0, _time.perf_counter(),
+                              part=plan.part_id, owned=int(ids.sum()))
 
         with _TEL.phase("predict"):
             if _TEL.enabled:
@@ -227,6 +237,8 @@ class PartitionedBackend(ExecutionBackend):
                   gravity_mask=None, motion_mask=None) -> np.ndarray:
         solver = self.solver
         R = solver.op.new_state()
+
+        tracing = _TEL.enabled and _TEL.tracing
 
         def work(plan):
             profiled = _TEL.enabled
@@ -243,6 +255,9 @@ class PartitionedBackend(ExecutionBackend):
                     t_compute = _time.perf_counter()
                     _TEL.add_time(f"worker/p{plan.part_id}/halo_gather",
                                   t_compute - t_gather)
+                    if tracing:
+                        _TEL.add_span("worker/halo_gather", t_gather, t_compute,
+                                      part=plan.part_id, halo=plan.n_halo)
                 outloc = np.zeros_like(Iloc)
                 plan.lop.volume_residual(Iloc, outloc, active=act)
                 plan.lop.interior_residual(Iloc, outloc, active=act)
@@ -263,8 +278,14 @@ class PartitionedBackend(ExecutionBackend):
                 act_g = plan.owned_mask if active is None else plan.owned_mask & active
                 solver.fault.step(derivs, dt, R, active=act_g, t0=t0)
             if profiled:
+                t_end = _time.perf_counter()
                 _TEL.add_time(f"worker/p{plan.part_id}/compute",
-                              _time.perf_counter() - t_compute)
+                              t_end - t_compute)
+                if tracing:
+                    _TEL.add_span("worker/compute", t_compute, t_end,
+                                  part=plan.part_id,
+                                  owned=int(act.sum()) if active is not None
+                                  else plan.n_owned)
 
         with _TEL.phase("corrector"):
             if _TEL.enabled:

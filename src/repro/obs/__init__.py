@@ -9,18 +9,42 @@ The measurement layer behind the paper's Sec. 5-6 performance story:
 * :mod:`repro.obs.report` — measured-vs-modeled GFLOP/s accounting
   against :mod:`repro.hpc.perfmodel` (imported lazily: it pulls in the
   HPC models);
+* :mod:`repro.obs.trace` — bounded span recording exported as
+  Chrome-trace/Perfetto JSON timelines (one lane per partitioned worker,
+  LTS cluster slices colored by cluster id) plus the ``obs-trace``
+  summarizer;
+* :mod:`repro.obs.bench` — standardized kernel benchmark battery writing
+  schema-versioned ``BENCH_<host-context>.json`` trajectory records
+  (compared against history and the roofline by
+  ``tools/bench_compare.py``);
 * :mod:`repro.obs.session` — :class:`ObsSession` wiring for the CLI's
-  ``--profile`` / ``--log-json`` / ``--heartbeat-every`` flags.
+  ``--profile`` / ``--trace`` / ``--log-json`` / ``--heartbeat-every``
+  flags.
 """
 
 from .runlog import EVENT_FIELDS, SCHEMA_VERSION, RunLog, run_manifest, validate_jsonl, validate_record
 from .session import ObsSession, add_obs_args, obs_kwargs
-from .telemetry import Telemetry, get_telemetry, timed
+from .telemetry import Telemetry, TraceBuffer, get_telemetry, timed
+from .trace import (
+    TRACE_SCHEMA_VERSION,
+    chrome_trace,
+    export_chrome_trace,
+    load_trace,
+    summarize_trace,
+    validate_chrome_trace,
+)
 
 __all__ = [
     "Telemetry",
+    "TraceBuffer",
     "get_telemetry",
     "timed",
+    "TRACE_SCHEMA_VERSION",
+    "chrome_trace",
+    "export_chrome_trace",
+    "load_trace",
+    "summarize_trace",
+    "validate_chrome_trace",
     "RunLog",
     "run_manifest",
     "validate_record",

@@ -36,6 +36,7 @@ import re
 
 __all__ = [
     "KNOWN_NODES",
+    "node_spec",
     "phase_total",
     "worker_split",
     "lts_cluster_updates",
@@ -75,6 +76,13 @@ def _node_specs() -> dict:
 
 #: node names accepted by ``obs-report --node`` (resolved lazily)
 KNOWN_NODES = ("rome", "mahti", "supermuc-ng", "shaheen2", "local")
+
+
+def node_spec(node):
+    """Resolve a :data:`KNOWN_NODES` name to its
+    :class:`~repro.hpc.machine.NodeSpec` (instances pass through) — shared
+    by the roofline report and the benchmark battery."""
+    return _node_specs()[node] if isinstance(node, str) else node
 
 
 # ----------------------------------------------------------------------
@@ -138,7 +146,7 @@ def roofline_rows(phases: dict, counters: dict, order: int,
     """
     from ..hpc.perfmodel import NodePerformanceModel, kernel_counts
 
-    spec = _node_specs()[node] if isinstance(node, str) else node
+    spec = node_spec(node)
     model = NodePerformanceModel(spec, order=order)
     kc = kernel_counts(order)
 
@@ -196,7 +204,7 @@ def profile_lines(snapshot: dict, order: int | None = None,
     if order is not None:
         rows = roofline_rows(phases, counters, order, node)
         if rows:
-            spec = _node_specs()[node] if isinstance(node, str) else node
+            spec = node_spec(node)
             lines.append("")
             lines.append(f"roofline (measured vs modeled, node: {spec.name}):")
             lines.append(

@@ -121,6 +121,10 @@ class RunLog:
             self._fh.flush()
             self._seq += 1
 
+    @property
+    def closed(self) -> bool:
+        return self._fh.closed
+
     def close(self) -> None:
         with self._lock:
             if not self._fh.closed:

@@ -128,6 +128,58 @@ class TestTelemetry:
         assert tel.enabled
         assert tel.snapshot()["counters"] == {}
 
+    def test_counter_read_takes_the_registry_lock(self):
+        """Regression: ``counter()`` used to read ``_counters`` without
+        ``_lock``, so a read racing the partitioned workers' ``count()``
+        calls could observe torn state relative to ``snapshot()``."""
+        tel = get_telemetry()
+        tel.enable()
+
+        acquisitions = []
+        real_lock = tel._lock
+
+        class RecordingLock:
+            def __enter__(self):
+                acquisitions.append(True)
+                return real_lock.__enter__()
+
+            def __exit__(self, *exc):
+                return real_lock.__exit__(*exc)
+
+        tel._lock = RecordingLock()
+        try:
+            tel.count("c", 2)
+            acquisitions.clear()
+            assert tel.counter("c") == 2
+            assert acquisitions, "counter() must acquire the registry lock"
+            assert tel.counter("never-set") == 0
+        finally:
+            tel._lock = real_lock
+
+    def test_counter_reads_race_concurrent_increments(self):
+        tel = get_telemetry()
+        tel.enable()
+
+        def bump():
+            for _ in range(2000):
+                tel.count("raced")
+
+        reads = []
+
+        def read():
+            for _ in range(2000):
+                reads.append(tel.counter("raced"))
+
+        threads = [threading.Thread(target=bump) for _ in range(2)]
+        threads.append(threading.Thread(target=read))
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert tel.counter("raced") == 4000
+        assert all(0 <= v <= 4000 for v in reads)
+        assert reads == sorted(reads)  # monotonic counter, consistent reads
+
     def test_thread_safety(self):
         tel = get_telemetry()
         tel.enable()
@@ -387,6 +439,57 @@ class TestObsSession:
         assert [b["step"] for b in beats] == [2, 4]
         assert all(b["wall_rate"] > 0 for b in beats)
         assert all(np.isfinite(b["energy"]) for b in beats)
+
+    def test_heartbeat_without_runlog_prints_to_stdout(self, capsys):
+        """Satellite regression: an explicit ``--heartbeat-every`` without
+        ``--log-json`` used to be silently ignored."""
+        solver = build_coupled(order=1)
+        obs = ObsSession(heartbeat_every=2)
+        assert obs.active  # heartbeats alone make the session active
+        obs.start(solver)
+        cb = obs.chain(None)
+        assert cb is not None
+        for _ in range(4):
+            solver.step()
+            cb(solver)
+        obs.finish(solver)
+        out = capsys.readouterr().out
+        beats = [ln for ln in out.splitlines() if ln.startswith("[heartbeat]")]
+        assert len(beats) == 2
+        assert "step 2" in beats[0] and "step 4" in beats[1]
+        assert "sim t" in beats[0] and "steps/s" in beats[0]
+
+    def test_heartbeat_with_runlog_stays_off_stdout(self, tmp_path, capsys):
+        path = str(tmp_path / "run.jsonl")
+        solver = build_coupled(order=1)
+        obs = ObsSession(log_json=path, heartbeat_every=1)
+        obs.start(solver)
+        cb = obs.chain(None)
+        for _ in range(2):
+            solver.step()
+            cb(solver)
+        obs.finish(solver)
+        assert "[heartbeat]" not in capsys.readouterr().out
+        recs = [json.loads(line) for line in open(path)]
+        assert sum(r["event"] == "heartbeat" for r in recs) == 2
+
+    def test_finish_is_exception_safe(self, tmp_path, capsys):
+        """Satellite: an exception mid-``finish()`` (here: the trace export
+        hitting a nonexistent directory) must still close the run log and
+        disable the session-owned registry."""
+        log_path = str(tmp_path / "run.jsonl")
+        bad_trace = str(tmp_path / "no-such-dir" / "out.trace.json")
+        solver = build_coupled(order=1)
+        obs = ObsSession(profile=True, trace=bad_trace, log_json=log_path)
+        tel = get_telemetry()
+        assert tel.enabled
+        obs.start(solver)
+        solver.step()
+        with pytest.raises(OSError):
+            obs.finish(solver)
+        assert not tel.enabled, "registry leaked enabled after finish() raised"
+        assert obs.runlog.closed
+        capsys.readouterr()  # swallow partial output
 
     def test_inactive_session_is_transparent(self):
         obs = ObsSession()

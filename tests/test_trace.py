@@ -1,0 +1,414 @@
+"""Span tracing: bounded buffer, Chrome-trace export, summarizer, CLI."""
+
+import json
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.obs import ObsSession, get_telemetry
+from repro.obs.telemetry import TraceBuffer
+from repro.obs.trace import (
+    TRACE_SCHEMA_VERSION,
+    chrome_trace,
+    export_chrome_trace,
+    load_trace,
+    summarize_trace,
+    trace_summary_lines,
+    validate_chrome_trace,
+)
+
+from tests.test_obs import build_coupled  # shared solver factory
+
+
+@pytest.fixture(autouse=True)
+def _clean_telemetry():
+    tel = get_telemetry()
+    tel.disable()
+    tel.reset()
+    yield
+    tel.disable()
+    tel.reset()
+
+
+def _partitioned(order=2, workers=2):
+    from repro.exec.partitioned import PartitionedBackend
+
+    solver = build_coupled(order=order)
+    backend = PartitionedBackend(workers=workers)
+    backend.bind(solver)
+    solver.backend = backend
+    return solver, backend
+
+
+# ----------------------------------------------------------------------
+class TestTraceBuffer:
+    def test_bounded_with_drop_counter(self):
+        buf = TraceBuffer(capacity=3)
+        for i in range(5):
+            buf.add(f"s{i}", float(i), float(i) + 0.5, None)
+        assert len(buf) == 3
+        assert buf.dropped == 2
+        snap = buf.snapshot()
+        assert [s[0] for s in snap["spans"]] == ["s0", "s1", "s2"]
+        assert snap["dropped"] == 2 and snap["capacity"] == 3
+
+    def test_snapshot_sorted_by_begin_and_thread_names(self):
+        buf = TraceBuffer()
+        buf.add("late", 2.0, 3.0, None)
+        buf.add("early", 0.0, 1.0, {"k": 1})
+        snap = buf.snapshot()
+        assert [s[0] for s in snap["spans"]] == ["early", "late"]
+        tid = threading.get_ident()
+        assert snap["threads"][tid] == threading.current_thread().name
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValueError):
+            TraceBuffer(capacity=0)
+
+
+class TestTelemetryTracing:
+    def test_phase_spans_recorded_when_tracing(self):
+        tel = get_telemetry()
+        tel.enable(trace=True)
+        assert tel.tracing
+        with tel.phase("step"):
+            with tel.phase("predict"):
+                pass
+        spans = tel.trace_snapshot()["spans"]
+        names = [s[0] for s in spans]
+        # sorted by begin time: the outer phase opened first
+        assert names == ["step", "step/predict"]
+        for _, t0, t1, tid, _ in spans:
+            assert t1 >= t0
+            assert tid == threading.get_ident()
+
+    def test_trace_span_and_add_span_carry_args(self):
+        tel = get_telemetry()
+        tel.enable(trace=True)
+        with tel.trace_span("lts/cluster", cluster=2, elems=17):
+            pass
+        tel.add_span("worker/halo_gather", 1.0, 1.5, part=1, halo=4)
+        spans = {s[0]: s for s in tel.trace_snapshot()["spans"]}
+        assert spans["lts/cluster"][4] == {"cluster": 2, "elems": 17}
+        assert spans["worker/halo_gather"][4] == {"part": 1, "halo": 4}
+
+    def test_trace_off_modes_are_noops(self):
+        tel = get_telemetry()
+        # enabled without trace: trace entry points are shared no-ops
+        tel.enable()
+        assert not tel.tracing
+        assert tel.trace_span("a") is tel.trace_span("b")
+        tel.add_span("x", 0.0, 1.0)
+        assert tel.trace_snapshot()["spans"] == []
+        # plain enable() after a traced session drops the old buffer
+        tel.enable(trace=True)
+        with tel.trace_span("s"):
+            pass
+        tel.enable()
+        assert not tel.tracing
+        assert tel.trace_snapshot()["spans"] == []
+
+    def test_reset_empties_buffer_but_keeps_trace_mode(self):
+        tel = get_telemetry()
+        tel.enable(trace=True, trace_capacity=7)
+        tel.add_span("x", 0.0, 1.0)
+        tel.reset()
+        assert tel.tracing
+        snap = tel.trace_snapshot()
+        assert snap["spans"] == [] and snap["capacity"] == 7
+
+    def test_disabled_overhead_with_trace_sites_below_two_percent(self):
+        """The 2% guard extended to the trace entry points: a solver whose
+        hot loops carry ``trace_span``/``add_span`` sites must stay free
+        when telemetry is fully off."""
+        solver = build_coupled(order=2)
+        tel = get_telemetry()
+
+        tel.enable(trace=True)
+        solver.step()
+        snap = tel.snapshot()
+        n_spans = len(tel.trace_snapshot()["spans"])
+        tel.disable()
+        tel.reset()
+        tel.enable()  # drop the buffer: measure the trace-disabled path
+        tel.disable()
+        sites = sum(c["calls"] for c in snap["phases"].values())
+        sites += len(snap["counters"])
+        sites += n_spans  # every span site also guards on tracing
+
+        n = 50_000
+        t0 = time.perf_counter()
+        for _ in range(n):
+            with tel.phase("x"):
+                pass
+            with tel.trace_span("y", part=0):
+                pass
+            tel.add_span("z", 0.0, 1.0, part=0)
+        per_call = (time.perf_counter() - t0) / n
+
+        t0 = time.perf_counter()
+        for _ in range(3):
+            solver.step()
+        per_step = (time.perf_counter() - t0) / 3
+
+        overhead = sites * per_call / per_step
+        assert overhead < 0.02, (
+            f"disabled trace instrumentation costs {overhead * 100:.3f}% of "
+            f"a step ({sites} sites x {per_call * 1e9:.0f} ns)"
+        )
+
+
+# ----------------------------------------------------------------------
+class TestChromeTraceExport:
+    def test_traced_partitioned_run_round_trips(self, tmp_path):
+        """The acceptance test: a traced 2-worker partitioned run exports
+        valid Chrome-trace JSON with one lane per worker."""
+        solver, backend = _partitioned(workers=2)
+        tel = get_telemetry()
+        tel.enable(trace=True)
+        try:
+            for _ in range(2):
+                solver.step()
+        finally:
+            backend.close()
+
+        path = str(tmp_path / "run.trace.json")
+        doc = export_chrome_trace(path, metadata={"steps": 2})
+        assert validate_chrome_trace(doc) == []
+
+        loaded = load_trace(path)
+        assert loaded == json.loads(json.dumps(doc))  # JSON round-trip
+        other = loaded["otherData"]
+        assert other["schema"] == TRACE_SCHEMA_VERSION
+        assert other["steps"] == 2
+        assert other["dropped"] == 0
+        assert other["spans"] > 0
+
+        events = loaded["traceEvents"]
+        xs = [e for e in events if e["ph"] == "X"]
+        assert len(xs) == other["spans"]
+        for ev in xs:
+            assert ev["ts"] >= 0 and ev["dur"] >= 0
+
+        # one lane per partitioned worker, named and sorted
+        names = {e["args"]["name"] for e in events
+                 if e["ph"] == "M" and e["name"] == "thread_name"}
+        n_parts = len(backend.plans)
+        assert n_parts >= 2
+        assert {f"worker p{p.part_id}" for p in backend.plans} <= names
+        worker_tids = {e["tid"] for e in xs
+                       if "args" in e and "part" in e.get("args", {})}
+        assert len(worker_tids) == n_parts  # distinct lanes
+        assert all(t >= 10_000 for t in worker_tids)
+
+        # the worker slices carry the structured args the summarizer needs
+        span_names = {e["name"] for e in xs}
+        assert {"worker/predict", "worker/halo_gather",
+                "worker/compute"} <= span_names
+
+    def test_lts_cluster_slices_colored_by_cluster(self, tmp_path):
+        from repro.core.lts import LocalTimeStepping
+
+        solver = build_coupled(order=1)
+        lts = LocalTimeStepping(solver)
+        tel = get_telemetry()
+        tel.enable(trace=True)
+        lts.run(solver.dt * 2)
+
+        doc = chrome_trace(tel.trace_snapshot())
+        assert validate_chrome_trace(doc) == []
+        clusters = [e for e in doc["traceEvents"]
+                    if e.get("name") == "lts/cluster"]
+        assert clusters
+        for ev in clusters:
+            assert "cname" in ev  # colored by cluster id
+            assert ev["args"]["cluster"] >= 0
+            assert ev["args"]["elems"] > 0
+        assert len({e["args"]["cluster"] for e in clusters}) == lts.n_clusters
+
+    def test_dropped_spans_surface_in_export(self):
+        tel = get_telemetry()
+        tel.enable(trace=True, trace_capacity=2)
+        for i in range(5):
+            tel.add_span(f"s{i}", float(i), float(i) + 0.1)
+        doc = chrome_trace(tel.trace_snapshot())
+        assert doc["otherData"]["spans"] == 2
+        assert doc["otherData"]["dropped"] == 3
+
+    def test_empty_snapshot_exports_empty_valid_doc(self, tmp_path):
+        path = str(tmp_path / "empty.trace.json")
+        doc = export_chrome_trace(path)  # registry never traced
+        assert validate_chrome_trace(doc) == []
+        assert doc["otherData"]["spans"] == 0
+
+
+class TestValidator:
+    def test_rejects_malformed_documents(self):
+        assert validate_chrome_trace([]) != []
+        assert validate_chrome_trace({"traceEvents": "nope"}) != []
+
+    def test_flags_bad_events(self):
+        doc = {"traceEvents": [
+            {"ph": "X", "name": "a", "ts": -1.0, "dur": 2.0, "pid": 0, "tid": 0},
+            {"ph": "X", "name": "b", "ts": 0.0, "dur": -2.0, "pid": 0, "tid": 0},
+            {"ph": "X", "ts": 0.0, "dur": 1.0, "pid": 0, "tid": 0},
+            {"ph": "Q", "name": "c"},
+            {"ph": "E", "name": "d", "ts": 0.0, "pid": 0, "tid": 1},
+            {"ph": "B", "name": "e", "ts": 5.0, "pid": 0, "tid": 1},
+            {"ph": "B", "name": "f", "ts": 4.0, "pid": 0, "tid": 1},
+        ]}
+        errors = validate_chrome_trace(doc)
+        text = "\n".join(errors)
+        assert "negative ts" in text
+        assert "negative dur" in text
+        assert "missing 'name'" in text
+        assert "unknown phase" in text
+        assert "E event without matching B" in text
+        assert "non-monotone ts" in text
+        assert "unclosed B" in text
+
+    def test_accepts_matched_duration_events(self):
+        doc = {"traceEvents": [
+            {"ph": "B", "name": "a", "ts": 0.0, "pid": 0, "tid": 0},
+            {"ph": "B", "name": "b", "ts": 1.0, "pid": 0, "tid": 0},
+            {"ph": "E", "ts": 2.0, "pid": 0, "tid": 0},
+            {"ph": "E", "ts": 3.0, "pid": 0, "tid": 0},
+        ]}
+        assert validate_chrome_trace(doc) == []
+
+
+# ----------------------------------------------------------------------
+class TestSummarizer:
+    def _traced_partitioned_doc(self):
+        solver, backend = _partitioned(workers=2)
+        tel = get_telemetry()
+        tel.enable(trace=True)
+        try:
+            for _ in range(2):
+                solver.step()
+        finally:
+            backend.close()
+        return chrome_trace(tel.trace_snapshot()), backend
+
+    def test_summary_metrics(self):
+        doc, backend = self._traced_partitioned_doc()
+        s = summarize_trace(doc)
+        assert s["wall_s"] > 0
+        assert 0 < s["critical_path_s"] <= s["wall_s"] * (1 + 1e-9)
+        assert s["parallelism"] >= 1.0
+        for p in backend.plans:
+            lane = s["lanes"][f"worker p{p.part_id}"]
+            assert lane["busy_s"] > 0
+            assert 0.0 <= lane["idle_fraction"] <= 1.0
+        assert s["totals"]["worker/compute"]["calls"] == \
+            2 * len(backend.plans)
+        # the halo-overlap block exists for worker traces
+        assert s["halo"] is not None
+        assert 0.0 <= s["halo"]["overlap_fraction"] <= 1.0
+        assert s["halo"]["overlapped_s"] <= s["halo"]["halo_s"] * (1 + 1e-9)
+
+    def test_critical_path_on_synthetic_timeline(self):
+        # two lanes: [0,1] & [2,3] chain on lane A (2 s), [0.5, 1.5] on B;
+        # the longest non-overlapping chain is A's 2 s
+        doc = {"traceEvents": [
+            {"ph": "X", "name": "a1", "ts": 0.0, "dur": 1e6, "pid": 0, "tid": 0},
+            {"ph": "X", "name": "a2", "ts": 2e6, "dur": 1e6, "pid": 0, "tid": 0},
+            {"ph": "X", "name": "b", "ts": 0.5e6, "dur": 1e6, "pid": 0, "tid": 1},
+        ]}
+        s = summarize_trace(doc)
+        assert s["wall_s"] == pytest.approx(3.0)
+        assert s["critical_path_s"] == pytest.approx(2.0)
+        # nested spans don't inflate lane busy time
+        doc["traceEvents"].append(
+            {"ph": "X", "name": "a1/inner", "ts": 0.2e6, "dur": 0.5e6,
+             "pid": 0, "tid": 0})
+        s2 = summarize_trace(doc)
+        assert s2["lanes"]["lane-0"]["busy_s"] == pytest.approx(2.0)
+
+    def test_summary_lines_render(self):
+        doc, _ = self._traced_partitioned_doc()
+        lines = trace_summary_lines(summarize_trace(doc), doc["otherData"])
+        text = "\n".join(lines)
+        assert "critical path" in text
+        assert "worker p" in text
+        assert "halo gather" in text
+        assert "top spans" in text
+
+    def test_empty_trace_summary(self):
+        s = summarize_trace({"traceEvents": []})
+        assert s["wall_s"] == 0.0 and s["halo"] is None
+
+
+# ----------------------------------------------------------------------
+class TestCliAndSession:
+    def test_obs_trace_cli(self, tmp_path, capsys):
+        from repro.__main__ import main
+
+        solver, backend = _partitioned(workers=2)
+        tel = get_telemetry()
+        tel.enable(trace=True)
+        try:
+            solver.step()
+        finally:
+            backend.close()
+        path = str(tmp_path / "run.trace.json")
+        export_chrome_trace(path)
+        tel.disable()
+
+        assert main(["obs-trace", path, "--check"]) == 0
+        out = capsys.readouterr().out
+        assert "-> OK" in out
+        assert "trace span timeline" in out
+        assert "worker p0" in out
+
+        bad = str(tmp_path / "bad.trace.json")
+        with open(bad, "w") as fh:
+            json.dump({"traceEvents": [{"ph": "X", "ts": -1.0}]}, fh)
+        assert main(["obs-trace", bad]) == 1
+        assert "INVALID" in capsys.readouterr().out
+
+    def test_obs_session_trace_export(self, tmp_path, capsys):
+        path = str(tmp_path / "session.trace.json")
+        solver = build_coupled(order=1)
+        obs = ObsSession(trace=path, config={"command": "trace-test"})
+        assert obs.active
+        obs.start(solver)
+        cb = obs.chain(None)
+        for _ in range(2):
+            solver.step()
+            cb(solver)
+        obs.finish(solver)
+
+        tel = get_telemetry()
+        assert not tel.enabled  # session-owned registry switched back off
+        doc = load_trace(path)
+        assert validate_chrome_trace(doc) == []
+        assert doc["otherData"]["spans"] > 0
+        assert doc["otherData"]["steps"] == 2
+        assert doc["otherData"]["config"]["command"] == "trace-test"
+        assert "trace:" in capsys.readouterr().out
+
+    def test_trace_composes_with_profile(self, tmp_path, capsys):
+        path = str(tmp_path / "both.trace.json")
+        solver = build_coupled(order=1)
+        obs = ObsSession(profile=True, trace=path)
+        obs.start(solver)
+        solver.step()
+        obs.finish(solver)
+        out = capsys.readouterr().out
+        assert "== profile" in out and "trace:" in out
+        assert validate_chrome_trace(load_trace(path)) == []
+
+    def test_quickstart_example_accepts_trace(self, tmp_path):
+        import inspect
+        import sys
+        from pathlib import Path
+
+        sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "examples"))
+        try:
+            import quickstart
+        finally:
+            sys.path.pop(0)
+        assert "trace" in inspect.signature(quickstart.main).parameters

@@ -16,7 +16,7 @@ Run:  python examples/ocean_acoustics.py
 import numpy as np
 from scipy.optimize import brentq
 
-from repro.analysis.spectra import amplitude_spectrum, dominant_frequency
+from repro.analysis.spectra import amplitude_spectrum
 from repro.core.materials import acoustic
 from repro.core.riemann import FaceKind
 from repro.core.solver import CoupledSolver
@@ -43,7 +43,10 @@ def main():
 
     # exact frequencies of the k = 2 pi / L modes
     k = 2 * np.pi / L
-    f_grav_exact = lambda kap: c**2 * (k**2 - kap**2) - g * kap * np.tanh(kap * h)
+
+    def f_grav_exact(kap):
+        return c**2 * (k**2 - kap**2) - g * kap * np.tanh(kap * h)
+
     kap = brentq(f_grav_exact, 1e-9, k * (1 - 1e-12))
     om_gravity = np.sqrt(g * kap * np.tanh(kap * h))
     # lowest acoustic branch: omega^2 = c^2 (k^2 + m^2), -g m tan(m h) = w^2
@@ -71,7 +74,7 @@ def main():
     T_g = 2 * np.pi / om_gravity
     n_steps = int(1.2 * T_g / solver.dt)
     print(f"running {n_steps} steps ({1.2 * T_g:.1f} s simulated) ...")
-    for i in range(n_steps):
+    for _ in range(n_steps):
         solver.step()
         ts.append(solver.t)
         etas.append(solver.gravity.sample(probe_xy)[0])

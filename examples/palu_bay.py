@@ -20,6 +20,7 @@ import numpy as np
 from repro.analysis.fields import sea_surface_grid
 from repro.core.lts import LocalTimeStepping
 from repro.obs import ObsSession, add_obs_args
+from repro.sched import HookBus
 from repro.scenarios.palu import PaluConfig, build_coupled
 
 
@@ -77,15 +78,16 @@ def main(t_end: float = 4.0, checkpoint_every: float | None = None,
         if resume:
             runner.resume(resume)
     obs.start(solver, resumed=bool(resume))
+    hooks = obs.subscribe(HookBus())
 
     checkpoints = np.linspace(t_end / 4, t_end, 4)
     for tc in checkpoints:
         if tc <= solver.t:
             continue  # already covered by the restored checkpoint
         if runner is not None:
-            runner.run(tc, callback=obs.chain(None))
+            runner.run(tc, hooks=hooks)
         else:
-            lts.run(tc, callback=obs.chain(None))
+            lts.run(tc, hooks=hooks)
         vr = rupture_speed_along_strike(fault)
         print(f"t = {tc:4.1f} s | ruptured {fault.ruptured_fraction() * 100:5.1f}% | "
               f"peak V {fault.peak_slip_rate.max():6.2f} m/s | "

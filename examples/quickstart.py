@@ -25,6 +25,7 @@ from repro.core.materials import acoustic, elastic
 from repro.core.solver import CoupledSolver, PointSource, ocean_surface_gravity_tagger
 from repro.mesh.generators import layered_ocean_mesh
 from repro.obs import ObsSession, add_obs_args
+from repro.sched import HookBus
 
 
 def main(t_end: float = 2.5, checkpoint_every: float | None = None,
@@ -69,15 +70,22 @@ def main(t_end: float = 2.5, checkpoint_every: float | None = None,
     print(f"running to t = {t_end} s ...")
     eta_peak = {"max": 0.0}
 
-    def watch(s):
-        receivers(s)
-        eta_peak["max"] = max(eta_peak["max"], float(np.abs(s.gravity.eta).max()))
-
     obs = ObsSession(
         profile=profile, trace=trace, log_json=log_json,
         heartbeat_every=heartbeat_every,
         config={"command": "quickstart", "t_end": t_end, "backend": backend},
     )
+
+    # everything that observes the run subscribes to one hook bus
+    hooks = HookBus()
+    receivers.subscribe(hooks)
+
+    @hooks.on_sync
+    def watch(s):
+        eta_peak["max"] = max(eta_peak["max"], float(np.abs(s.gravity.eta).max()))
+
+    obs.subscribe(hooks)
+
     if checkpoint_every or checkpoint_dir or resume:
         from repro.core.resilience import ResilientRunner
 
@@ -88,10 +96,10 @@ def main(t_end: float = 2.5, checkpoint_every: float | None = None,
         if resume:
             runner.resume(resume)
         obs.start(solver, resumed=bool(resume))
-        runner.run(t_end, callback=obs.chain(watch))
+        runner.run(t_end, hooks=hooks)
     else:
         obs.start(solver)
-        solver.run(t_end, callback=obs.chain(watch))
+        solver.run(t_end, hooks=hooks)
 
     # --- report ----------------------------------------------------------
     p = receivers.pressure()

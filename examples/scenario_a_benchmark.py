@@ -22,6 +22,7 @@ import numpy as np
 from repro.analysis.fields import surface_eta_transect
 from repro.core.lts import LocalTimeStepping
 from repro.obs import ObsSession, add_obs_args
+from repro.sched import HookBus
 from repro.scenarios.scenario_a import (
     ScenarioAConfig,
     build_coupled,
@@ -64,10 +65,10 @@ def main(t_end: float = 6.0, n_transect: int = 41,
         if resume:
             runner.resume(resume)
         obs.start(solver, resumed=bool(resume))
-        runner.run(t_end, callback=obs.chain(None))
+        runner.run(t_end, hooks=obs.subscribe(HookBus()))
     else:
         obs.start(solver)
-        lts.run(t_end, callback=obs.chain(None))
+        lts.run(t_end, hooks=obs.subscribe(HookBus()))
     obs.finish(solver)
     print(f"  rupture: Mw {fault.moment_magnitude():.2f}, "
           f"peak slip {fault.slip.max():.2f} m, "
@@ -82,13 +83,12 @@ def main(t_end: float = 6.0, n_transect: int = 41,
     eq, fault2, tracker = build_earthquake_only(cfg)
     print(f"  earthquake-only mesh: {eq.mesh.n_elements} elements")
     snapshots = [(0.0, tracker.uz.copy())]
-
-    def record(s):
-        tracker(s)
+    eq_hooks = HookBus()
+    eq_hooks.on_sync(tracker)
 
     n_snap = 12
     for i in range(n_snap):
-        eq.run(t_end * (i + 1) / n_snap, callback=record)
+        eq.run(t_end * (i + 1) / n_snap, hooks=eq_hooks)
         snapshots.append((eq.t, tracker.uz.copy()))
     print(f"  final seafloor uplift: max {tracker.uz.max():.2f} m, "
           f"min {tracker.uz.min():.2f} m")

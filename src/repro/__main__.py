@@ -46,6 +46,11 @@ JSON), ``--log-json PATH`` (structured JSONL run records) and
     Run the standardized kernel benchmark battery and append a
     schema-versioned record to ``BENCH_<host-context>.json`` (compare
     records with ``tools/bench_compare.py``).
+``sched-plan N [--rate R] [--n-macro M] [--full]``
+    Compile the clustered step plan for ``N`` LTS clusters (chain
+    adjacency) and print its cadence — micro-step counts per cluster,
+    sync points and, with ``--full``, every window with its
+    consume/publish actions (see README "Scheduler").
 """
 
 from __future__ import annotations
@@ -121,6 +126,15 @@ def main(argv=None) -> int:
                      help="history file (default: BENCH_<host-context>.json at repo root)")
     p_b.add_argument("--node", default="local",
                      help="roofline node model for predicted bounds (default: local)")
+    p_s = sub.add_parser("sched-plan",
+                         help="compile and print a clustered step plan")
+    p_s.add_argument("n_clusters", type=int, help="number of LTS clusters")
+    p_s.add_argument("--rate", type=int, default=2,
+                     help="timestep ratio between clusters (default: 2)")
+    p_s.add_argument("--n-macro", type=int, default=1,
+                     help="macro steps to compile (default: 1)")
+    p_s.add_argument("--full", action="store_true",
+                     help="print every micro-step with its actions")
     args = ap.parse_args(argv)
 
     if args.command is None:
@@ -151,6 +165,39 @@ def main(argv=None) -> int:
             print(line)
         print(f"bench: appended record to {path} "
               "(compare with tools/bench_compare.py)")
+        return 0
+    if args.command == "sched-plan":
+        from repro.sched import CONSUME_TAYLOR, compile_step_plan, step_plan_key
+
+        nc = args.n_clusters
+        # the normalized clustering guarantees neighbor levels differ by at
+        # most one, so the chain is the canonical adjacency to preview
+        adjacency = [
+            [n for n in (c - 1, c + 1) if 0 <= n < nc] for c in range(nc)
+        ]
+        plan = compile_step_plan(nc, args.rate, args.n_macro, adjacency)
+        key = step_plan_key(nc, args.rate, args.n_macro, adjacency)
+        print(f"step plan: {nc} cluster(s), rate {plan.rate}, "
+              f"{plan.n_macro} macro step(s)  [key {key[:12]}]")
+        print(f"  micro-steps: {plan.n_micro}  syncs: {plan.n_sync}  "
+              f"span: {plan.end_int} x dt_min")
+        counts = [int((plan.cluster == c).sum()) for c in range(nc)]
+        for c in range(nc):
+            print(f"  cluster {c}: window {int(plan.steps[c])} x dt_min, "
+                  f"{counts[c]} update(s)")
+        if args.full:
+            for i in range(plan.n_micro):
+                acts = ", ".join(
+                    f"{'taylor' if m == CONSUME_TAYLOR else 'buffer'}(c{int(cn)}"
+                    + (f"@+{int(off)}" if m == CONSUME_TAYLOR else "") + ")"
+                    for cn, m, off in plan.consumes(i)
+                )
+                sync = int(plan.sync_after[i])
+                print(f"  [{i:3d}] c{int(plan.cluster[i])} "
+                      f"t=[{int(plan.t_int[i])},"
+                      f"{int(plan.t_int[i] + plan.steps[plan.cluster[i]])})"
+                      + (f"  consume: {acts}" if acts else "")
+                      + (f"  sync@{sync}" if sync >= 0 else ""))
         return 0
 
     # the runnable demos live in <repo>/examples (editable install layout)

@@ -56,6 +56,15 @@ class ReceiverArray:
         if self._count % self.every == 0:
             self.record()
 
+    def subscribe(self, bus) -> "ReceiverArray":
+        """Sample at every scheduler synchronization point.
+
+        Registers on a :class:`~repro.sched.HookBus`; equivalent to
+        passing the array as a run callback.
+        """
+        bus.on_sync(self)
+        return self
+
     # ------------------------------------------------------------------
     @property
     def t(self) -> np.ndarray:

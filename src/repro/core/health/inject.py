@@ -20,9 +20,8 @@ into retry exhaustion (:class:`~repro.core.health.SimulationDiverged`).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-
-import numpy as np
+import math
+from dataclasses import dataclass
 
 __all__ = ["FaultInjector", "InjectedIOError"]
 
@@ -36,7 +35,7 @@ class _Action:
     at_step: int
     kind: str  # "state" | "dt" | "io"
     target: str = "Q"
-    value: float = float("nan")
+    value: float = math.nan
     index: int = 0
     factor: float = 64.0
     count: int = 1
@@ -54,7 +53,7 @@ class FaultInjector:
 
     # -- scripting -------------------------------------------------------
     def corrupt_state(self, at_step: int, target: str = "Q",
-                      value: float = float("nan"), index: int = 0,
+                      value: float = math.nan, index: int = 0,
                       persistent: bool = False) -> "FaultInjector":
         """Overwrite one entry of ``target`` (``"Q"``/``"eta"``/``"psi"``)
         just before step ``at_step`` executes."""

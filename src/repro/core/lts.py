@@ -17,23 +17,23 @@ efficient" with ADER):
   into a buffer which the coarse element consumes at its next corrector —
   SeisSol's buffer mechanism.
 
-The scheduler is event-driven: a cluster may step when (i) every coarser
-neighboring cluster's Taylor expansion covers the step window and (ii)
-every finer neighboring cluster has completed the window (buffer full).
-With rate-2 clustering this reproduces the canonical recursive ordering.
+The update order is the canonical event-driven one: a cluster may step
+when (i) every coarser neighboring cluster's Taylor expansion covers the
+step window and (ii) every finer neighboring cluster has completed the
+window (buffer full).  Because that cadence is static, it is compiled
+once into a :class:`~repro.sched.StepPlan` and replayed by the shared
+:class:`~repro.sched.Scheduler`; this module only owns the *clustering*
+(assignment, normalization, statistics) and the driver facade.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from ..obs.telemetry import get_telemetry
-from .ader import taylor_integrate
+from ..sched import HookBus, Scheduler
 from .cfl import element_timesteps
 
 __all__ = ["cluster_elements", "lts_statistics", "LocalTimeStepping"]
-
-_TEL = get_telemetry()
 
 
 def cluster_elements(
@@ -135,135 +135,31 @@ class LocalTimeStepping:
         return lts_statistics(self.cluster, self.rate)
 
     # ------------------------------------------------------------------
-    def run(self, t_end: float, callback=None, dt_scale: float = 1.0) -> None:
+    def run(
+        self,
+        t_end: float,
+        callback=None,
+        dt_scale: float = 1.0,
+        hooks=None,
+    ) -> None:
         """Advance all clusters to exactly ``t_end``.
 
-        ``dt_min`` is shrunk slightly so that the macro timestep divides the
-        remaining time (keeps the rate-2 synchronization invariants intact).
-        ``callback(solver)`` fires at every macro-step synchronization point
-        (all clusters aligned), with ``solver.t`` set to that time.
-        ``dt_scale`` (in (0, 1]) uniformly shrinks every cluster timestep —
-        the hook :class:`~repro.core.resilience.ResilientRunner` uses for
+        Thin adapter over the compiled step-plan scheduler
+        (:mod:`repro.sched`): the full micro-step cadence is compiled once
+        from ``(n_clusters, rate, n_macro)`` (cached by fingerprint) and
+        replayed — no per-micro-step eligibility scan.  ``dt_min`` is
+        shrunk slightly so that the macro timestep divides the remaining
+        time (keeps the rate synchronization invariants intact).
+        ``callback(solver)`` fires at every macro-step synchronization
+        point (all clusters aligned), with ``solver.t`` set to that time;
+        a :class:`~repro.sched.HookBus` passed as ``hooks`` subscribes to
+        the full event stream.  ``dt_scale`` (in (0, 1]) uniformly shrinks
+        every cluster timestep — the hook
+        :class:`~repro.core.resilience.ResilientRunner` uses for
         dt-backoff recovery.
         """
-        if not 0.0 < dt_scale <= 1.0:
-            raise ValueError("dt_scale must be in (0, 1]")
-        solver = self.solver
-        rate, cmax = self.rate, self.cmax
-        dt_macro = self.dt_min * dt_scale * rate**cmax
-        span = t_end - solver.t
-        if span <= 0:
-            return
-        n_macro = max(1, int(np.ceil(span / dt_macro - 1e-12)))
-        dt_min = span / (n_macro * rate**cmax)
-        dts = np.array([dt_min * rate**c for c in range(self.n_clusters)])
-        self._t0 = solver.t
-
-        op = self.op
-        ne, nb = op.n_elements, op.nbasis
-        # exact integer time in units of dt_min: with many clusters the
-        # floating-point drift of accumulated times would otherwise exceed
-        # any fixed epsilon and deadlock the scheduler
-        steps_int = np.array([rate**c for c in range(self.n_clusters)], dtype=np.int64)
-        t_int = np.zeros(self.n_clusters, dtype=np.int64)
-        pred_int = np.zeros(self.n_clusters, dtype=np.int64)
-        end_int = n_macro * rate**cmax
-
-        derivs = self.backend.predict(solver.Q)
-        Iown = np.zeros((ne, nb, 9))
-        Ibuf = np.zeros((ne, nb, 9))
-        for c in range(self.n_clusters):
-            mask = self.masks[c]
-            Iown[mask] = taylor_integrate(derivs[mask], 0.0, dts[c])
-
-        def eligible(c):
-            if t_int[c] >= end_int:
-                return False
-            t_new = t_int[c] + steps_int[c]
-            for cn in self.adjacent[c]:
-                if steps_int[cn] > steps_int[c]:
-                    if pred_int[cn] > t_int[c] or pred_int[cn] + steps_int[cn] < t_new:
-                        return False
-                else:
-                    if t_int[cn] < t_new:
-                        return False
-            return True
-
-        macro = self.rate**cmax
-        next_sync = macro
-        while t_int.min() < end_int:
-            candidates = [
-                (t_int[ci] + steps_int[ci], steps_int[ci], ci)
-                for ci in range(self.n_clusters)
-                if eligible(ci)
-            ]
-            if not candidates:
-                raise RuntimeError("LTS scheduler deadlock (inconsistent clustering)")
-            _, _, c = min(candidates)
-            # trace slice per cluster step: the Perfetto timeline colors
-            # these by cluster id, exposing the rate-2 update cadence
-            if _TEL.enabled and _TEL.tracing:
-                with _TEL.trace_span("lts/cluster", cluster=int(c),
-                                     elems=int(self.elem_count[c]),
-                                     t_int=int(t_int[c]),
-                                     dt=float(dts[c])):
-                    self._step_cluster(
-                        c, t_int, pred_int, steps_int, dt_min, dts, derivs,
-                        Iown, Ibuf, end_int
-                    )
-            else:
-                self._step_cluster(
-                    c, t_int, pred_int, steps_int, dt_min, dts, derivs, Iown,
-                    Ibuf, end_int
-                )
-            t_int[c] += steps_int[c]
-            self.updates[c] += 1
-            if _TEL.enabled:
-                _TEL.count(f"lts/updates/c{c}")
-                _TEL.count(f"lts/elem_updates/c{c}", int(self.elem_count[c]))
-            if callback is not None and t_int.min() >= next_sync:
-                solver.t = self._t0 + next_sync * dt_min
-                callback(solver)
-                next_sync += macro
-
-        solver.t = t_end
-
-    # ------------------------------------------------------------------
-    def _step_cluster(
-        self, c, t_int, pred_int, steps_int, dt_min, dts, derivs, Iown, Ibuf, end_int
-    ) -> None:
-        solver = self.solver
-        op = self.op
-        mask = self.masks[c]
-        t_a = t_int[c] * dt_min
-        t_b = t_a + dts[c]
-
-        # assemble per-element time-integrated data for this window
-        I = np.zeros((op.n_elements, op.nbasis, 9))
-        I[mask] = Iown[mask]
-        for cn in self.adjacent[c]:
-            mn = self.masks[cn]
-            if steps_int[cn] > steps_int[c]:
-                off = (t_int[c] - pred_int[cn]) * dt_min
-                I[mn] = taylor_integrate(derivs[mn], off, off + dts[c])
-            else:
-                I[mn] = Ibuf[mn]
-
-        out = self.backend.corrector(
-            I, derivs, dts[c], t0=self._t0 + t_a, active=mask,
-            gravity_mask=self.gravity_masks[c],
-            motion_mask=None if self.motion_masks is None else self.motion_masks[c],
-        )
-        solver.Q[mask] += out[mask]
-
-        # the just-completed window becomes available to coarser neighbors
-        Ibuf[mask] += Iown[mask]
-        # buffers of finer neighbors covering [t_a, t_b] were consumed above
-        for cn in self.adjacent[c]:
-            if steps_int[cn] < steps_int[c]:
-                Ibuf[self.masks[cn]] = 0.0
-
-        # next predictor for this cluster (skip if the run is over for it)
-        if t_int[c] + steps_int[c] < end_int:
-            self.backend.update_predictor(solver.Q, mask, dts[c], derivs, Iown)
-            pred_int[c] = t_int[c] + steps_int[c]
+        bus = HookBus()
+        if callback is not None:
+            bus.on_sync(callback)
+        bus.extend(hooks)
+        Scheduler(self.solver, lts=self).run(t_end, dt_scale=dt_scale, hooks=bus)

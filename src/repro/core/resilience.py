@@ -38,6 +38,7 @@ from ..io.checkpoint import (
     restore_checkpoint,
     restore_state,
 )
+from ..sched import HookBus, Scheduler
 from .health import HealthError, SimulationDiverged, Watchdog
 
 __all__ = ["ResilientRunner"]
@@ -164,9 +165,22 @@ class ResilientRunner:
         return meta
 
     # ------------------------------------------------------------------
-    def run(self, t_end: float, callback=None) -> None:
-        """Advance to ``t_end`` under supervision (see class docstring)."""
+    def run(self, t_end: float, callback=None, hooks=None) -> None:
+        """Advance to ``t_end`` under supervision (see class docstring).
+
+        The supervision itself rides the scheduler's
+        :class:`~repro.sched.HookBus`: the watchdog subscribes to the step
+        stream, ``callback`` keeps the legacy per-sync convention, an
+        optional caller-provided ``hooks`` bus is merged in, and checkpoint
+        writes fire on the segment-end event.
+        """
         solver = self.solver
+        bus = HookBus()
+        self._subscribe_supervision(bus)
+        if callback is not None:
+            bus.on_sync(callback)
+        bus.extend(hooks)
+        bus.on_segment_end(self._checkpoint_hook)
         eps = 1e-12 * max(abs(t_end), 1.0)
         snap = self._snapshot()
         while solver.t < t_end - eps:
@@ -181,7 +195,7 @@ class ResilientRunner:
             seg_wall0 = time.perf_counter()
             while True:
                 try:
-                    self._advance(target, callback)
+                    self._advance(target, bus)
                     break
                 except HealthError as err:
                     attempts += 1
@@ -225,48 +239,53 @@ class ResilientRunner:
             # healthy segment: relax the backoff and persist
             self.dt_scale = min(1.0, self.dt_scale / self.backoff)
             snap = self._snapshot()
-            self._write_checkpoint()
+            bus.segment_end(solver)
 
     # ------------------------------------------------------------------
-    def _advance(self, target: float, callback) -> None:
+    def _subscribe_supervision(self, bus: HookBus) -> None:
+        """Attach step counting + watchdog sweeps to the scheduler's bus.
+
+        Registered first so health is checked before any user callback
+        sees the state.  Under GTS every micro-step is swept (the event
+        carries the nominal dt the CFL monitor must see); under LTS the
+        sweep runs at macro-step synchronization points.
+        """
         if self.lts is not None:
-            self._advance_lts(target, callback)
+
+            def watch_sync(s):
+                factor = (
+                    self.injector.on_step(s, self.step_count)
+                    if self.injector is not None
+                    else 1.0
+                )
+                self.step_count += 1
+                self.watchdog.ensure(
+                    dt=self.lts.dt_min * self.dt_scale * factor,
+                    step=self.step_count,
+                )
+
+            bus.on_sync(watch_sync)
         else:
-            self._advance_gts(target, callback)
 
-    def _advance_gts(self, target: float, callback) -> None:
-        solver = self.solver
-        eps = 1e-12 * max(abs(target), 1.0)
-        while solver.t < target - eps:
-            factor = (
-                self.injector.on_step(solver, self.step_count)
-                if self.injector is not None
-                else 1.0
-            )
-            dt_nominal = solver.dt * self.dt_scale * factor
-            solver.step(min(dt_nominal, target - solver.t))
-            self.step_count += 1
-            self.watchdog.ensure(dt=dt_nominal, step=self.step_count)
-            if callback is not None:
-                callback(solver)
+            def watch_micro(s, event):
+                self.step_count += 1
+                self.watchdog.ensure(dt=event.dt_nominal, step=self.step_count)
 
-    def _advance_lts(self, target: float, callback) -> None:
-        lts = self.lts
+            bus.on_micro_step(watch_micro)
 
-        def sync(s):
-            factor = (
-                self.injector.on_step(s, self.step_count)
-                if self.injector is not None
-                else 1.0
-            )
-            self.step_count += 1
-            self.watchdog.ensure(
-                dt=lts.dt_min * self.dt_scale * factor, step=self.step_count
-            )
-            if callback is not None:
-                callback(s)
+    def _advance(self, target: float, bus: HookBus) -> None:
+        dt_factor = None
+        if self.lts is None and self.injector is not None:
 
-        lts.run(target, callback=sync, dt_scale=self.dt_scale)
+            def dt_factor(s):
+                return self.injector.on_step(s, self.step_count)
+
+        Scheduler(self.solver, lts=self.lts).run(
+            target, dt_scale=self.dt_scale, hooks=bus, dt_factor=dt_factor
+        )
+
+    def _checkpoint_hook(self, solver) -> None:
+        self._write_checkpoint()
 
     # ------------------------------------------------------------------
     def _snapshot(self) -> dict:

@@ -280,21 +280,33 @@ class CoupledSolver:
         t_end: float,
         dt: float | None = None,
         callback: Callable[["CoupledSolver"], None] | None = None,
+        hooks=None,
     ) -> None:
-        """Advance to ``t_end`` with uniform steps (last step shortened)."""
-        dt = self.dt if dt is None else dt
-        while self.t < t_end - 1e-12 * max(t_end, 1.0):
-            step_dt = min(dt, t_end - self.t)
-            self.step(step_dt)
-            if callback is not None:
-                callback(self)
+        """Advance to ``t_end`` with uniform steps (last step shortened).
+
+        Thin adapter over the compiled step-plan scheduler
+        (:mod:`repro.sched`): the step count is fixed up front by the
+        integer clock, so a ``t_end`` that is a whole number of steps up
+        to float error never produces a sliver step.  ``callback(solver)``
+        fires after every step; a :class:`~repro.sched.HookBus` passed as
+        ``hooks`` subscribes to the full event stream.
+        """
+        from ..sched import HookBus, Scheduler
+
+        bus = HookBus()
+        if callback is not None:
+            bus.on_sync(callback)
+        bus.extend(hooks)
+        Scheduler(self).run(t_end, dt=dt, hooks=bus)
 
     # ------------------------------------------------------------------
     def energy(self) -> float:
         """Total (elastic + kinetic) discrete energy — a Godunov-flux
-        Lyapunov function: non-increasing in time for closed domains."""
-        from .materials import jacobians  # noqa: F401  (doc cross-ref)
+        Lyapunov function: non-increasing in time for closed domains.
 
+        The stress/velocity ordering matches the state layout of
+        :func:`repro.core.materials.jacobians`.
+        """
         mesh = self.mesh
         e_tot = 0.0
         for mid, mat in enumerate(mesh.materials):

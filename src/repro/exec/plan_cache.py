@@ -45,6 +45,7 @@ __all__ = [
     "PlanCache",
     "get_plan_cache",
     "clear_plan_cache",
+    "register_cache",
 ]
 
 
@@ -128,14 +129,19 @@ class PlanCache:
             while len(self._plans) > self.max_entries:
                 self._plans.popitem(last=False)
 
-    def get_or_build(self, mesh, order: int, flux_variant: str, builder) -> OperatorPlan:
-        """Return the cached plan for ``(mesh, order, flux_variant)`` or
-        build (and cache) a fresh one with ``builder()``."""
+    def get_or_build_key(self, key: str, builder, phase: str = "setup/plan_build"):
+        """Return the cached value under ``key`` or build (and cache) a
+        fresh one with ``builder()``.
+
+        The generic entry point shared by the operator-plan cache and the
+        step-plan cache of :mod:`repro.sched.plan`: hit/miss counters and
+        the ``REPRO_PLAN_CACHE=0`` kill switch behave identically for
+        every kind of fingerprint-keyed plan.
+        """
         tel = get_telemetry()
         if not self.enabled:
-            with tel.phase("setup/plan_build"):
+            with tel.phase(phase):
                 return builder()
-        key = plan_key(mesh, order, flux_variant)
         plan = self.get(key)
         if plan is not None:
             self.hits += 1
@@ -143,10 +149,17 @@ class PlanCache:
             return plan
         self.misses += 1
         tel.count("plan_cache/misses")
-        with tel.phase("setup/plan_build"):
+        with tel.phase(phase):
             plan = builder()
         self.put(key, plan)
         return plan
+
+    def get_or_build(self, mesh, order: int, flux_variant: str, builder) -> OperatorPlan:
+        """Return the cached plan for ``(mesh, order, flux_variant)`` or
+        build (and cache) a fresh one with ``builder()``."""
+        if not self.enabled:
+            return self.get_or_build_key("", builder)
+        return self.get_or_build_key(plan_key(mesh, order, flux_variant), builder)
 
     def clear(self) -> None:
         with self._lock:
@@ -160,6 +173,16 @@ class PlanCache:
 
 _GLOBAL_CACHE = PlanCache()
 
+#: every PlanCache instance that :func:`clear_plan_cache` must also clear
+#: (e.g. the step-plan cache of :mod:`repro.sched.plan`)
+_REGISTERED_CACHES: list[PlanCache] = []
+
+
+def register_cache(cache: PlanCache) -> PlanCache:
+    """Register an auxiliary cache to be cleared by :func:`clear_plan_cache`."""
+    _REGISTERED_CACHES.append(cache)
+    return cache
+
 
 def get_plan_cache() -> PlanCache:
     """The process-wide operator-plan cache."""
@@ -167,5 +190,8 @@ def get_plan_cache() -> PlanCache:
 
 
 def clear_plan_cache() -> None:
-    """Drop all cached plans and reset hit/miss counters."""
+    """Drop all cached plans (operator + registered auxiliary caches) and
+    reset hit/miss counters."""
     _GLOBAL_CACHE.clear()
+    for cache in _REGISTERED_CACHES:
+        cache.clear()

@@ -11,7 +11,7 @@ real mesh partitions against these models.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 

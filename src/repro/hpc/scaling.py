@@ -26,7 +26,7 @@ import numpy as np
 
 from ..core.basis import basis_size
 from .machine import Machine
-from .partition import comm_volume, eq28_vertex_weights, imbalance, partition_geometric
+from .partition import eq28_vertex_weights, imbalance, partition_geometric
 from .perfmodel import NodePerformanceModel
 
 __all__ = ["ScalingResult", "StrongScalingModel"]

@@ -164,7 +164,7 @@ class TetMesh:
         self.centroids = v.mean(axis=1)
         # insphere radius r = 3V / (total face area)
         areas = np.zeros(len(self.tets))
-        for f, (a, b, c) in enumerate(TET_FACES):
+        for a, b, c in TET_FACES:
             e1 = v[:, b] - v[:, a]
             e2 = v[:, c] - v[:, a]
             areas += 0.5 * np.linalg.norm(np.cross(e1, e2), axis=1)

@@ -14,6 +14,10 @@ battery of micro-benchmarks over the solver's hot kernels —
   tagged surface faces;
 * ``halo_gather`` — the fancy-index halo exchange of a two-partition
   plan (the copy that would be the MPI message in a distributed run);
+* ``sched_replay`` — the :mod:`repro.sched` step-plan machinery alone:
+  replay-decode of a compiled 16-macro-step plan (the scheduler's
+  per-micro-step overhead with the physics kernels removed), with the
+  one-off plan compile cost recorded alongside;
 * ``lts_macro`` — one full clustered-LTS macro step (every cluster
   advanced to the next synchronization point).
 
@@ -57,7 +61,7 @@ BENCH_SCHEMA_VERSION = 1
 #: the fixed battery, in execution order (``lts_macro`` mutates the
 #: solver state and therefore always runs last)
 BATTERY_KERNELS = ("predictor", "corrector", "riemann_setup",
-                   "gravity_ode", "halo_gather", "lts_macro")
+                   "gravity_ode", "halo_gather", "sched_replay", "lts_macro")
 
 
 def host_context() -> str:
@@ -226,9 +230,36 @@ def run_battery(out: str | None = None, node: str = "local", order: int = 3,
     benches["halo_gather"]["halo"] = int(sum(p.n_halo for p in pb.plans))
     pb.close()
 
+    lts = LocalTimeStepping(solver)
+
+    # sched_replay: the step-plan machinery alone — decode every
+    # micro-step of a compiled 16-macro-step plan (consume/clear walks,
+    # no physics kernels), with the one-off compile cost alongside
+    from ..sched import compile_step_plan
+
+    n_macro_plan = 16
+    plan = compile_step_plan(lts.n_clusters, lts.rate, n_macro_plan,
+                             adjacency=lts.adjacent)
+    compile_seconds = _best_of(
+        lambda: compile_step_plan(lts.n_clusters, lts.rate, n_macro_plan,
+                                  adjacency=lts.adjacent), repeats)
+
+    def sched_replay():
+        for i in range(plan.n_micro):
+            for _action in plan.consumes(i):
+                pass
+            plan.clears(i)
+
+    add("sched_replay", _best_of(sched_replay, repeats))
+    benches["sched_replay"]["compile_seconds"] = compile_seconds
+    benches["sched_replay"]["n_micro"] = int(plan.n_micro)
+    benches["sched_replay"]["n_sync"] = int(plan.n_sync)
+    benches["sched_replay"]["micro_steps_per_s"] = (
+        plan.n_micro / benches["sched_replay"]["seconds"]
+    )
+
     # lts_macro: one clustered macro step — mutates solver state, so it
     # runs last and is timed once per repeat on a fresh time window
-    lts = LocalTimeStepping(solver)
     rate_c = lts.rate ** lts.cmax
     macro_updates = int(sum(
         int(n) * lts.rate ** (lts.cmax - c) for c, n in enumerate(lts.elem_count)

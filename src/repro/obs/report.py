@@ -226,7 +226,7 @@ def profile_lines(snapshot: dict, order: int | None = None,
         for part in sorted(split):
             s = split[part]
             lines.append(
-                f"  {'p%d' % part:>8} {s['compute_s']:>11.4f} "
+                f"  {f'p{part}':>8} {s['compute_s']:>11.4f} "
                 f"{s['halo_s']:>9.4f} {100.0 * s['halo_fraction']:>9.2f}%"
             )
 
@@ -237,7 +237,7 @@ def profile_lines(snapshot: dict, order: int | None = None,
         lines.append(f"  {'cluster':>8} {'updates':>9} {'elem-updates':>13}")
         for c in sorted(clusters):
             lines.append(
-                f"  {'c%d' % c:>8} {clusters[c]['updates']:>9} "
+                f"  {f'c{c}':>8} {clusters[c]['updates']:>9} "
                 f"{clusters[c]['elem_updates']:>13}"
             )
 

@@ -128,6 +128,17 @@ class ObsSession:
 
         return combined
 
+    def subscribe(self, bus):
+        """Attach heartbeat/step accounting to a scheduler hook bus.
+
+        Registers :meth:`on_step` on every synchronization point of a
+        :class:`~repro.sched.HookBus` (no-op while inactive, like
+        :meth:`chain`).  Returns ``bus`` for fluent wiring.
+        """
+        if self.active:
+            bus.on_sync(self.on_step)
+        return bus
+
     # ------------------------------------------------------------------
     def finish(self, solver=None) -> None:
         """Export the trace, emit ``run_end``, close the log, print the

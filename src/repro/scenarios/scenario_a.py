@@ -18,11 +18,10 @@ and the hydrostatic/incompressible approximations of the linked baseline.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 
-from ..core.lts import LocalTimeStepping
 from ..core.materials import acoustic, elastic
 from ..core.riemann import FaceKind
 from ..core.solver import CoupledSolver, ocean_surface_gravity_tagger

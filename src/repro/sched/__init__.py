@@ -1,0 +1,39 @@
+"""Compiled step-plan scheduling (paper Sec. 4.4).
+
+The clustered local-time-stepping cadence is *static*: given the number
+of clusters, the rate and the macro-step count, the full sequence of
+cluster micro-steps — including every neighbor-window consume and buffer
+publish — is known before the run starts.  This package compiles that
+sequence once into a flat :class:`StepPlan` (cached by fingerprint, like
+operator plans), and a single :class:`Scheduler` replays it through any
+execution backend, firing :class:`HookBus` events that observability,
+resilience and analysis subscribe to.  Global time stepping is simply the
+one-cluster plan.
+"""
+
+from .hooks import HookBus, MicroStepEvent
+from .plan import (
+    CONSUME_BUFFER,
+    CONSUME_TAYLOR,
+    StepPlan,
+    compile_step_plan,
+    get_step_plan,
+    get_step_plan_cache,
+    step_plan_key,
+)
+from .scheduler import TERMINATION_TOL, Scheduler, plan_steps
+
+__all__ = [
+    "CONSUME_BUFFER",
+    "CONSUME_TAYLOR",
+    "StepPlan",
+    "compile_step_plan",
+    "get_step_plan",
+    "get_step_plan_cache",
+    "step_plan_key",
+    "HookBus",
+    "MicroStepEvent",
+    "Scheduler",
+    "plan_steps",
+    "TERMINATION_TOL",
+]

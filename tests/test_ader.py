@@ -1,10 +1,9 @@
 """Tests for the Cauchy-Kowalewski predictor and Taylor utilities."""
 
 import numpy as np
-import pytest
 
 from repro.core.ader import ck_derivatives, star_matrices, taylor_evaluate, taylor_integrate
-from repro.core.basis import get_reference_element, tet_basis
+from repro.core.basis import get_reference_element
 from repro.core.materials import elastic, jacobians
 from repro.mesh.generators import box_mesh
 

@@ -130,7 +130,6 @@ class TestFaceGeometry:
 
     def test_permutations_cover_same_points(self):
         rs, _ = triangle_rule(2)
-        base = face_points_to_tet(2, rs)
         for perm in FACE_PERMUTATIONS:
             pts = face_points_to_tet(2, rs, perm)
             # same physical face, possibly reordered points

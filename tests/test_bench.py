@@ -100,6 +100,11 @@ class TestBattery:
         assert record["benches"]["gravity_ode"]["faces"] > 0
         assert record["benches"]["halo_gather"]["elem_updates"] > 0
         assert record["benches"]["lts_macro"]["clusters"] >= 1
+        sched = record["benches"]["sched_replay"]
+        assert sched["compile_seconds"] > 0.0
+        assert sched["n_micro"] >= 16  # 16 macro steps, >= 1 micro each
+        assert sched["n_sync"] == 16
+        assert sched["micro_steps_per_s"] > 0.0
 
     def test_battery_lines_render(self, record):
         text = "\n".join(battery_lines(record))

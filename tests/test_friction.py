@@ -1,7 +1,6 @@
 """Unit and property tests for the fault friction laws."""
 
 import numpy as np
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

@@ -39,7 +39,9 @@ def gravity_box(h=1.0, L=4.0, c=15.0, rho=1000.0, nx=8, nz=4, order=2, integrato
 
 def exact_gravity_mode(h, L, c, g=9.81):
     k = 2 * np.pi / L
-    f = lambda kap: c**2 * (k**2 - kap**2) - g * kap * np.tanh(kap * h)
+    def f(kap):
+        return c**2 * (k**2 - kap**2) - g * kap * np.tanh(kap * h)
+
     kap = brentq(f, 1e-9, k * (1 - 1e-12))
     return k, kap, np.sqrt(g * kap * np.tanh(kap * h))
 

@@ -106,7 +106,6 @@ class TestPartitioner:
         """Geometric partitions of a mesh must cut far fewer faces than a
         random assignment."""
         m = box_mesh(*(np.linspace(0, 1, 9),) * 3, [ROCK])
-        w = np.ones(m.n_elements)
         parts = partition_mesh(m, 8)
         edges = m.dual_graph_edges()
         rng = np.random.default_rng(3)

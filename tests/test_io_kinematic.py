@@ -1,7 +1,5 @@
 """Tests for the I/O writers and the kinematic finite-fault source."""
 
-import os
-
 import numpy as np
 import pytest
 

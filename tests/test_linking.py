@@ -124,7 +124,7 @@ class TestEndToEnd:
         s.set_initial_condition(ic)
         tr = SurfaceDisplacementTracker(s)
         snapshots = [(0.0, tr.uz.copy())]
-        for i in range(6):
+        for _ in range(6):
             s.step(0.02)
             tr(s)
             snapshots.append((s.t, tr.uz.copy()))

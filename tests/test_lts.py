@@ -1,7 +1,6 @@
 """Tests for clustered rate-2 local time-stepping (paper Sec. 4.4)."""
 
 import numpy as np
-import pytest
 
 from repro.core.lts import LocalTimeStepping, cluster_elements, lts_statistics
 from repro.core.materials import acoustic, elastic
@@ -88,7 +87,9 @@ class TestLTSDriver:
         k = 2 * np.pi
         cp = ROCK1.cp
         r = np.array([ROCK1.lam + 2 * ROCK1.mu, ROCK1.lam, ROCK1.lam, 0, 0, 0, -cp, 0, 0])
-        exact = lambda x, t: r[None, :] * np.sin(k * (x[:, 0] - cp * t))[:, None]
+
+        def exact(x, t):
+            return r[None, :] * np.sin(k * (x[:, 0] - cp * t))[:, None]
 
         T = 0.1 / cp
         s_gts = CoupledSolver(graded_periodic_box(), order=2)

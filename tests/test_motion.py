@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.core.materials import acoustic, elastic
+from repro.core.materials import acoustic
 from repro.core.riemann import FaceKind
 from repro.core.solver import CoupledSolver
 from repro.mesh.generators import box_mesh

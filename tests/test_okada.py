@@ -1,7 +1,6 @@
 """Tests for the Okada (1985) half-space dislocation solution."""
 
 import numpy as np
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

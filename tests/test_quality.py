@@ -1,11 +1,10 @@
 """Tests for the mesh-quality diagnostics."""
 
 import numpy as np
-import pytest
 
 from repro.core.materials import acoustic, elastic
 from repro.mesh.generators import bathymetry_mesh, box_mesh
-from repro.mesh.quality import MeshQuality, assess, timestep_report
+from repro.mesh.quality import assess, timestep_report
 from repro.mesh.tetmesh import TetMesh
 
 ROCK = elastic(2700.0, 6000.0, 3464.0)

@@ -208,7 +208,6 @@ class TestRecovery:
         assert solver.t == pytest.approx(0.15)
 
     def test_io_failure_keeps_previous_checkpoint(self, tmp_path):
-        solver = build_coupled()
         baseline = build_coupled()
 
         # first run: two checkpoints, the SECOND write fails

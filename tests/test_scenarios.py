@@ -6,7 +6,6 @@ behaviour on miniature configurations; the full scaled scenarios run in
 """
 
 import numpy as np
-import pytest
 
 from repro.core.riemann import FaceKind
 from repro.scenarios.palu import PaluConfig, build_coupled as build_palu

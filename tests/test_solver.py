@@ -190,7 +190,6 @@ class TestCoupledInterface:
             s.step()
 
         # sample transmitted and reflected amplitudes
-        R = (rock.Zp - water.Zp) / (rock.Zp + water.Zp)  # pressure reflection
         T_v = 2 * water.Zp / (rock.Zp + water.Zp)  # velocity transmission
         probe_rock = s.evaluate(np.array([[250.0, 250.0, -2600.0]]))[0]
         vz_inc = -amp / water.Zp

@@ -4,7 +4,6 @@ import json
 import threading
 import time
 
-import numpy as np
 import pytest
 
 from repro.obs import ObsSession, get_telemetry

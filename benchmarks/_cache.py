@@ -41,8 +41,12 @@ def _ensure_out_dir() -> str:
 
 
 def _write_atomic(path: str, text: str) -> None:
+    # pid-keyed unique temp name: concurrent multi-process writers (the
+    # ensemble driver's workers all report here) must never share a tmp file
     out = os.path.dirname(path)
-    fd, tmp = tempfile.mkstemp(dir=out, prefix=f".{os.path.basename(path)}.", suffix=".tmp")
+    fd, tmp = tempfile.mkstemp(
+        dir=out, prefix=f".{os.path.basename(path)}.{os.getpid()}.",
+        suffix=".tmp")
     try:
         with os.fdopen(fd, "w") as f:
             f.write(text)

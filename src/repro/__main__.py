@@ -51,6 +51,14 @@ JSON), ``--log-json PATH`` (structured JSONL run records) and
     adjacency) and print its cadence — micro-step counts per cluster,
     sync points and, with ``--full``, every window with its
     consume/publish actions (see README "Scheduler").
+``ensemble --members N [--workers W] [--scenario S] ...``
+    Run a supervised multi-process ensemble of perturbed scenario
+    members (see README "Ensemble runs").  Worker processes heartbeat to
+    the supervisor; hangs (``--member-timeout``), deaths, and corrupt
+    results are retried with backoff, checkpoint-resume, and timestep
+    backoff (``--max-retries`` strikes) before a member is quarantined.
+    The driver always terminates with a complete per-member summary and
+    an ``ensemble.json``/``ensemble.jsonl`` artifact pair in ``--out``.
 """
 
 from __future__ import annotations
@@ -126,6 +134,35 @@ def main(argv=None) -> int:
                      help="history file (default: BENCH_<host-context>.json at repo root)")
     p_b.add_argument("--node", default="local",
                      help="roofline node model for predicted bounds (default: local)")
+    p_e = sub.add_parser("ensemble",
+                         help="supervised multi-process scenario ensemble")
+    p_e.add_argument("--members", type=int, default=4, metavar="N",
+                     help="number of perturbed ensemble members (default 4)")
+    p_e.add_argument("--workers", type=int, default=2, metavar="W",
+                     help="concurrent worker processes; 0 = degraded "
+                     "in-process mode (default 2)")
+    p_e.add_argument("--scenario", default="quickstart",
+                     help="registered scenario builder "
+                     "(quickstart | scenario_a | palu; default quickstart)")
+    p_e.add_argument("--t-end", type=float, default=0.5,
+                     help="simulated seconds per member (default 0.5)")
+    p_e.add_argument("--seed", type=int, default=0,
+                     help="base seed; member k runs with seed+k (default 0)")
+    p_e.add_argument("--max-retries", type=int, default=3, metavar="R",
+                     help="process-level strikes before quarantine (default 3)")
+    p_e.add_argument("--member-timeout", type=float, default=120.0,
+                     metavar="S",
+                     help="seconds without a heartbeat before a member is "
+                     "declared hung and killed (default 120)")
+    p_e.add_argument("--checkpoint-every", type=float, default=None,
+                     metavar="S",
+                     help="per-member checkpoint cadence in simulated "
+                     "seconds (enables mid-run resume after a death)")
+    p_e.add_argument("--out", default="out/ensemble", metavar="DIR",
+                     help="artifact root (default out/ensemble)")
+    p_e.add_argument("--backend", default="serial",
+                     help="execution backend inside each member "
+                     "(default serial)")
     p_s = sub.add_parser("sched-plan",
                          help="compile and print a clustered step plan")
     p_s.add_argument("n_clusters", type=int, help="number of LTS clusters")
@@ -166,6 +203,47 @@ def main(argv=None) -> int:
         print(f"bench: appended record to {path} "
               "(compare with tools/bench_compare.py)")
         return 0
+    if args.command == "ensemble":
+        from repro.ensemble import (
+            MemberSpec,
+            RetryPolicy,
+            Supervisor,
+            available_builders,
+        )
+
+        if args.scenario not in available_builders():
+            print(f"unknown scenario {args.scenario!r} "
+                  f"(registered: {', '.join(available_builders())})")
+            return 2
+        if args.members < 1:
+            print("--members must be >= 1")
+            return 2
+        specs = [
+            MemberSpec(
+                member_id=f"member_{k:04d}",
+                builder=args.scenario,
+                seed=args.seed + k,
+                t_end=args.t_end,
+                checkpoint_every=args.checkpoint_every,
+                backend=args.backend,
+            )
+            for k in range(args.members)
+        ]
+        supervisor = Supervisor(
+            specs,
+            workers=args.workers,
+            retry=RetryPolicy(max_retries=args.max_retries),
+            member_timeout=args.member_timeout,
+            out_dir=args.out,
+            verbose=True,
+        )
+        result = supervisor.run()
+        for line in result.lines():
+            print(line)
+        print(f"artifacts: {args.out}/ensemble.json, "
+              f"{args.out}/ensemble.jsonl, per-member dirs")
+        # graceful degradation is still a degraded run: signal it
+        return 3 if result.degraded else 0
     if args.command == "sched-plan":
         from repro.sched import CONSUME_TAYLOR, compile_step_plan, step_plan_key
 

@@ -1,0 +1,56 @@
+"""Fault-tolerant multi-process ensemble execution.
+
+The paper's Palu use case becomes an early-warning capability only when
+thousands of perturbed scenarios (source location, slip, friction,
+bathymetry) run unattended and survive worker failures.  This package is
+that driver:
+
+* :mod:`repro.ensemble.spec` — picklable :class:`MemberSpec` (scenario
+  builder name + perturbation + seed) and the builder registry;
+* :mod:`repro.ensemble.builders` — built-in quickstart / Scenario-A /
+  Palu member builders;
+* :mod:`repro.ensemble.worker` — the spawn entry point: one attempt per
+  process incarnation, heartbeats over a queue, durable per-member run
+  logs, atomic digested result files;
+* :mod:`repro.ensemble.retry` — the escalation ladder (exponential
+  backoff with deterministic jitter → checkpoint-resume → dt-scale
+  reduction → quarantine);
+* :mod:`repro.ensemble.supervisor` — the parent-side supervision tree:
+  heartbeat-timeout hang detection, exit-code death detection, result
+  validation, graceful degradation to in-process execution;
+* :mod:`repro.ensemble.result` — per-member status records and the
+  always-complete :class:`EnsembleResult`.
+
+See README "Ensemble runs" and ``python -m repro ensemble --help``.
+"""
+
+from . import builders  # noqa: F401  (registers the built-in scenarios)
+from .result import STATUSES, EnsembleResult, MemberResult
+from .retry import RetryDecision, RetryPolicy
+from .spec import (
+    MemberSpec,
+    ScenarioHandle,
+    available_builders,
+    get_builder,
+    register_builder,
+)
+from .supervisor import Supervisor
+from .worker import load_result, member_paths, run_member, state_digest
+
+__all__ = [
+    "MemberSpec",
+    "ScenarioHandle",
+    "register_builder",
+    "get_builder",
+    "available_builders",
+    "RetryPolicy",
+    "RetryDecision",
+    "Supervisor",
+    "MemberResult",
+    "EnsembleResult",
+    "STATUSES",
+    "run_member",
+    "member_paths",
+    "state_digest",
+    "load_result",
+]

@@ -1,0 +1,307 @@
+"""Ensemble worker: execute one member attempt in a child process.
+
+The spawn target (:func:`child_main`) is a plain module-level function —
+``multiprocessing`` spawn pickles the :class:`MemberSpec` by value and
+resolves this function by qualified name in a fresh interpreter.  Inside
+the child, the member runs under the *in-process* supervision PR 1 built
+(:class:`~repro.core.resilience.ResilientRunner`: watchdog, rollback,
+dt backoff, rotating checkpoints), while the parent supervises the
+*process*: every scheduler sync point emits a heartbeat over the queue,
+and the terminal state is published as an atomic ``result.json`` whose
+SHA-256 state digest lets the chaos tests compare a recovered member
+bitwise against its uninterrupted twin.
+
+A worker can die at any instruction (that is the point), so everything it
+persists is crash-safe: the per-member run log is ``durable`` (fsync per
+record), checkpoints publish atomically, and the result file is written
+to a pid-keyed temp name and ``os.replace``'d into place.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import sys
+import tempfile
+import time
+import traceback
+
+import numpy as np
+
+from ..core.health import SimulationDiverged
+from ..core.resilience import ResilientRunner
+from ..io.checkpoint import capture_state
+from ..obs.runlog import RunLog
+from ..sched import HookBus
+from .spec import MemberSpec
+
+__all__ = [
+    "RESULT_NAME",
+    "RUNLOG_NAME",
+    "CKPT_DIRNAME",
+    "member_paths",
+    "state_digest",
+    "run_member",
+    "load_result",
+    "child_main",
+]
+
+RESULT_NAME = "result.json"
+RUNLOG_NAME = "run.jsonl"
+CKPT_DIRNAME = "ckpt"
+
+#: keys a result file must carry to count as a valid attempt outcome
+REQUIRED_RESULT_KEYS = (
+    "member_id", "attempt", "status", "digest", "sim_t", "steps", "wall_s",
+)
+
+
+def member_paths(out_dir: str, member_id: str) -> dict:
+    """Canonical artifact layout of one member under ``out_dir``."""
+    mdir = os.path.join(out_dir, member_id)
+    return {
+        "dir": mdir,
+        "result": os.path.join(mdir, RESULT_NAME),
+        "runlog": os.path.join(mdir, RUNLOG_NAME),
+        "ckpt_dir": os.path.join(mdir, CKPT_DIRNAME),
+    }
+
+
+def state_digest(solver, lts=None) -> str:
+    """SHA-256 over every time-marching array of the solver state.
+
+    Built from :func:`~repro.io.checkpoint.capture_state` (modal state,
+    simulation time, sea surface, fault state, LTS bookkeeping) so two
+    runs agree on the digest iff they agree bitwise.
+    """
+    state = capture_state(solver, lts)
+    h = hashlib.sha256()
+    for key in sorted(state):
+        h.update(key.encode())
+        h.update(np.ascontiguousarray(state[key]).tobytes())
+    return h.hexdigest()
+
+
+# ----------------------------------------------------------------------
+def run_member(
+    spec: MemberSpec,
+    member_dir: str,
+    queue=None,
+    attempt: int = 1,
+    resume: bool = False,
+    dt_scale: float = 1.0,
+    in_process: bool = False,
+) -> dict:
+    """Execute one attempt of ``spec``; returns the result dict.
+
+    Runs in a spawned child (via :func:`child_main`) or directly in the
+    parent when the supervisor operates in degraded in-process mode.
+    ``resume`` restores the newest *readable* checkpoint rotation;
+    ``dt_scale`` applies the supervisor's escalated timestep scale.
+    ``in_process`` makes injected kill/hang faults raise
+    (:class:`~repro.core.health.inject.InjectedWorkerDeath` /
+    :class:`~repro.core.health.inject.InjectedHang`) instead of killing
+    or stalling the driver itself.
+    """
+    os.makedirs(member_dir, exist_ok=True)
+    paths = {
+        "dir": member_dir,
+        "result": os.path.join(member_dir, RESULT_NAME),
+        "runlog": os.path.join(member_dir, RUNLOG_NAME),
+        "ckpt_dir": os.path.join(member_dir, CKPT_DIRNAME),
+    }
+    wall0 = time.perf_counter()
+    pid = os.getpid()
+
+    def tell(kind: str, **fields):
+        if queue is not None:
+            fields.update(kind=kind, member=spec.member_id, attempt=attempt,
+                          pid=pid, wall=time.time())
+            try:
+                queue.put_nowait(fields)
+            except Exception:
+                pass  # a full/broken queue must not kill the member
+
+    runlog = RunLog(paths["runlog"], durable=True)
+    handle = spec.build()
+    solver, lts = handle.solver, handle.lts
+
+    runner = ResilientRunner(
+        solver,
+        lts=lts,
+        checkpoint_every=spec.checkpoint_every,
+        checkpoint_dir=paths["ckpt_dir"],
+        keep=spec.keep_checkpoints,
+        max_retries=spec.max_retries,
+        injector=spec.injector,
+        verbose=False,
+        runlog=runlog,
+    )
+    runner.dt_scale = float(dt_scale)
+
+    resumed_from = None
+    if resume:
+        # fall back past corrupt rotations: a killed worker must never
+        # poison its own resume (CheckpointManager.restore_latest skips
+        # unreadable archives with a warning)
+        meta = runner.manager.restore_latest()
+        if meta is not None:
+            resumed_from = runner.manager.latest()
+            try:
+                runner.step_count = int(float(meta.get("step", 0)))
+            except (TypeError, ValueError):
+                runner.step_count = 0
+            runner.watchdog.reset()
+            runlog.emit("resume", path=resumed_from, step=runner.step_count,
+                        sim_t=solver.t)
+
+    runlog.emit("manifest", **_member_manifest(spec, solver, attempt,
+                                               resumed_from))
+    tell("started", sim_t=solver.t, resumed=resumed_from is not None)
+
+    hooks = HookBus()
+    beat_state = {"n": 0, "wall": time.perf_counter(), "step": 0}
+
+    @hooks.on_sync
+    def heartbeat(s):
+        # process-level faults fire before the heartbeat goes out: a hung
+        # worker must look hung, not healthy
+        if spec.injector is not None:
+            spec.injector.process_gate(runner.step_count, attempt,
+                                       simulate=in_process)
+        beat_state["n"] += 1
+        if beat_state["n"] % spec.heartbeat_every:
+            return
+        now = time.perf_counter()
+        d_wall = max(now - beat_state["wall"], 1e-9)
+        rate = (runner.step_count - beat_state["step"]) / d_wall
+        beat_state["wall"], beat_state["step"] = now, runner.step_count
+        tell("heartbeat", step=runner.step_count, sim_t=s.t)
+        runlog.emit("heartbeat", step=runner.step_count, sim_t=s.t,
+                    dt=solver.dt * runner.dt_scale,
+                    energy=float(solver.energy()), wall_rate=rate)
+
+    status = "completed"
+    diverged = None
+    try:
+        runner.run(spec.t_end, hooks=hooks)
+    except SimulationDiverged as exc:
+        # in-process retries exhausted: report, don't crash — the
+        # supervisor decides whether to escalate or quarantine
+        status = "diverged"
+        diverged = str(exc)
+
+    wall_s = time.perf_counter() - wall0
+    result = {
+        "member_id": spec.member_id,
+        "attempt": attempt,
+        "status": status,
+        "digest": state_digest(solver, lts),
+        "sim_t": float(solver.t),
+        "steps": int(runner.step_count),
+        "wall_s": wall_s,
+        "dt_scale": float(runner.dt_scale),
+        "rollbacks": int(runner.rollbacks),
+        "resumed_from": resumed_from,
+        "diverged": diverged,
+        "summary": handle.summarize(solver) if handle.summarize else {},
+        "paths": paths,
+    }
+    _publish_result(paths["result"], result, spec, attempt)
+    runlog.emit("run_end", steps=runner.step_count, wall_s=wall_s,
+                phases={}, counters={})
+    runlog.close()
+    tell("done", status=status, sim_t=solver.t)
+    return result
+
+
+def _member_manifest(spec, solver, attempt, resumed_from) -> dict:
+    from ..obs.runlog import run_manifest
+
+    return run_manifest(
+        solver,
+        config={
+            "member_id": spec.member_id,
+            "builder": spec.builder,
+            "perturb": spec.perturb,
+            "seed": spec.seed,
+            "t_end": spec.t_end,
+            "attempt": attempt,
+        },
+        resumed=resumed_from is not None,
+    )
+
+
+def _publish_result(path: str, result: dict, spec, attempt: int) -> None:
+    """Atomically publish the result file (or corrupt it, under injection)."""
+    text = json.dumps(result, indent=2, sort_keys=True) + "\n"
+    if spec.injector is not None and spec.injector.result_gate(attempt):
+        # injected torn write: garbage prefix, no atomic publish — exactly
+        # what a worker dying mid-write through a non-atomic path leaves
+        with open(path, "w", encoding="utf-8") as f:
+            f.write(text[: max(8, len(text) // 3)].rstrip("}\n") + "\x00garbage")
+        return
+    fd, tmp = tempfile.mkstemp(
+        dir=os.path.dirname(path),
+        prefix=f".{RESULT_NAME}.{os.getpid()}.", suffix=".tmp",
+    )
+    try:
+        with os.fdopen(fd, "w", encoding="utf-8") as f:
+            f.write(text)
+            f.flush()
+            os.fsync(f.fileno())
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+
+
+def load_result(path: str) -> dict | None:
+    """Read and validate a member result file; ``None`` when unusable.
+
+    A missing, torn, or garbled file (the corrupt-result fault, a death
+    mid-write) yields ``None`` — the supervisor treats that attempt as
+    failed and retries.
+    """
+    try:
+        with open(path, encoding="utf-8") as f:
+            data = json.load(f)
+    except (OSError, ValueError, UnicodeDecodeError):
+        return None
+    if not isinstance(data, dict):
+        return None
+    if any(k not in data for k in REQUIRED_RESULT_KEYS):
+        return None
+    return data
+
+
+# ----------------------------------------------------------------------
+def child_main(spec: MemberSpec, member_dir: str, queue, attempt: int,
+               resume: bool, dt_scale: float) -> None:
+    """Spawn entry point: run the attempt, exit 0 on success.
+
+    Any unhandled exception is reported over the queue (best effort) and
+    exits with status 3; a watchdog-diagnosed divergence still exits 0 —
+    it published a valid result file carrying ``status="diverged"`` and
+    the supervisor escalates from there.
+    """
+    try:
+        run_member(spec, member_dir, queue=queue, attempt=attempt,
+                   resume=resume, dt_scale=dt_scale)
+    except BaseException as exc:  # noqa: B036 - report then re-raise/exit
+        try:
+            if queue is not None:
+                queue.put_nowait({
+                    "kind": "error", "member": spec.member_id,
+                    "attempt": attempt, "pid": os.getpid(),
+                    "wall": time.time(),
+                    "error": f"{type(exc).__name__}: {exc}",
+                })
+        except Exception:
+            pass
+        traceback.print_exc(file=sys.stderr)
+        os._exit(3)

@@ -30,6 +30,9 @@ import hashlib
 import os
 import re
 import tempfile
+import warnings
+import zipfile
+import zlib
 
 import numpy as np
 
@@ -44,6 +47,7 @@ __all__ = [
     "save_checkpoint",
     "load_checkpoint",
     "restore_checkpoint",
+    "checkpoint_candidates",
     "latest_checkpoint",
     "CheckpointManager",
 ]
@@ -200,8 +204,12 @@ def _save_checkpoint(path, solver, lts, metadata) -> str:
 
     directory = os.path.dirname(os.path.abspath(path)) or "."
     os.makedirs(directory, exist_ok=True)
+    # pid-keyed unique temp name: concurrent ensemble workers checkpointing
+    # into sibling paths of one directory must never collide mid-publish
     fd, tmp = tempfile.mkstemp(
-        dir=directory, prefix="." + os.path.basename(path) + ".", suffix=".tmp"
+        dir=directory,
+        prefix=f".{os.path.basename(path)}.{os.getpid()}.",
+        suffix=".tmp",
     )
     try:
         with os.fdopen(fd, "wb") as f:
@@ -228,7 +236,11 @@ def load_checkpoint(path: str) -> dict:
         with get_telemetry().phase("io/checkpoint_load"), \
                 np.load(path, allow_pickle=False) as d:
             data = {k: d[k] for k in d.files}
-    except (OSError, ValueError) as exc:
+    except (OSError, ValueError, KeyError, EOFError,
+            zipfile.BadZipFile, zlib.error) as exc:
+        # OSError/ValueError: unreadable or not an archive; BadZipFile /
+        # zlib.error / EOFError: an archive truncated mid-write (kill -9
+        # through a non-atomic path); KeyError: a member list torn apart
         raise CheckpointError(f"cannot read checkpoint {path!r}: {exc}") from exc
     version = int(data.pop("version", -1))
     if version < 1 or version > CHECKPOINT_VERSION:
@@ -270,18 +282,49 @@ def restore_checkpoint(path: str, solver, lts=None, strict: bool = True) -> dict
 _CKPT_RE = re.compile(r"^(?P<prefix>.+)_(?P<step>\d+)\.npz$")
 
 
-def latest_checkpoint(directory: str, prefix: str = "ckpt") -> str | None:
-    """Path of the highest-step ``<prefix>_<step>.npz`` in ``directory``."""
+def checkpoint_candidates(directory: str, prefix: str = "ckpt") -> list[str]:
+    """All ``<prefix>_<step>.npz`` paths in ``directory``, newest first."""
     if not os.path.isdir(directory):
-        return None
-    best_step, best = -1, None
-    for name in os.listdir(directory):
+        return []
+    found = []
+    try:
+        names = os.listdir(directory)
+    except OSError:
+        return []
+    for name in names:
         m = _CKPT_RE.match(name)
         if m and m.group("prefix") == prefix:
-            step = int(m.group("step"))
-            if step > best_step:
-                best_step, best = step, os.path.join(directory, name)
-    return best
+            found.append((int(m.group("step")), name))
+    return [os.path.join(directory, name)
+            for _, name in sorted(found, reverse=True)]
+
+
+def latest_checkpoint(directory: str, prefix: str = "ckpt",
+                      validate: bool = False) -> str | None:
+    """Path of the highest-step ``<prefix>_<step>.npz`` in ``directory``.
+
+    With ``validate=True`` each candidate is opened (newest first) and the
+    first one that actually loads is returned — a worker killed mid-write
+    or a torn filesystem must never poison its own resume, so corrupt or
+    truncated archives are warned about and skipped in favor of the
+    next-newest rotation.
+    """
+    candidates = checkpoint_candidates(directory, prefix)
+    if not validate:
+        return candidates[0] if candidates else None
+    for path in candidates:
+        try:
+            load_checkpoint(path)
+        except CheckpointError as exc:
+            warnings.warn(
+                f"skipping unreadable checkpoint {path!r} ({exc}); "
+                "falling back to the next-newest rotation",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            continue
+        return path
+    return None
 
 
 class CheckpointManager:
@@ -316,22 +359,41 @@ class CheckpointManager:
         return latest_checkpoint(self.directory, self.prefix)
 
     def restore_latest(self, strict: bool = True) -> dict | None:
-        """Restore the newest checkpoint; returns its metadata or ``None``."""
-        path = self.latest()
-        if path is None:
-            return None
-        return restore_checkpoint(path, self.solver, self.lts, strict=strict)
+        """Restore the newest *readable* checkpoint; metadata or ``None``.
+
+        Corrupt or truncated rotations (a killed worker's last write, a
+        torn disk) are warned about and skipped, falling back to the
+        next-newest archive; a fingerprint mismatch under ``strict`` still
+        raises — that is a different problem, not a damaged file.
+        """
+        for path in checkpoint_candidates(self.directory, self.prefix):
+            try:
+                data = load_checkpoint(path)
+            except CheckpointError as exc:
+                warnings.warn(
+                    f"skipping unreadable checkpoint {path!r} ({exc}); "
+                    "falling back to the next-newest rotation",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
+                continue
+            if strict:
+                want = fingerprint(self.solver)
+                if data["fingerprint"] != want:
+                    raise CheckpointError(
+                        f"checkpoint {path!r} was saved from a different "
+                        f"problem (fingerprint {data['fingerprint'][:12]}… != "
+                        f"solver {want[:12]}…); refusing to restore"
+                    )
+            restore_state(self.solver, data["state"], self.lts)
+            return data["metadata"]
+        return None
 
     def _prune(self) -> None:
-        if not os.path.isdir(self.directory):
-            return
-        found = []
-        for name in os.listdir(self.directory):
-            m = _CKPT_RE.match(name)
-            if m and m.group("prefix") == self.prefix:
-                found.append((int(m.group("step")), name))
-        for _, name in sorted(found)[: -self.keep]:
+        # tolerate concurrent writers/pruners in sibling processes: every
+        # unlink (and the listing itself) may race with another worker
+        for path in checkpoint_candidates(self.directory, self.prefix)[self.keep:]:
             try:
-                os.unlink(os.path.join(self.directory, name))
+                os.unlink(path)
             except OSError:
                 pass

@@ -28,6 +28,13 @@ Events
     snapshot (phases + counters) when profiling was enabled.
 ``metrics``
     Free-form measurement payloads (benchmark side-channels).
+``member_start`` / ``member_retry`` / ``member_quarantined`` /
+``member_end`` / ``ensemble_summary``
+    Supervisor-level events of the multi-process ensemble driver
+    (:mod:`repro.ensemble`): worker launches with pid and attempt number,
+    retry decisions (reason, backoff delay, resume/dt-scale escalation),
+    quarantine with the full attempt history as a diagnosis, per-member
+    completion status, and the final fleet summary.
 """
 
 from __future__ import annotations
@@ -67,6 +74,13 @@ EVENT_FIELDS: dict[str, tuple] = {
     "diverged": ("step", "sim_t", "attempts", "dt_scale", "wall_s"),
     "run_end": ("steps", "wall_s", "phases", "counters"),
     "metrics": (),
+    "member_start": ("member", "attempt", "scenario", "pid"),
+    "member_retry": ("member", "attempt", "reason", "delay_s", "resume",
+                     "dt_scale"),
+    "member_quarantined": ("member", "attempts", "diagnosis"),
+    "member_end": ("member", "status", "attempts", "wall_s"),
+    "ensemble_summary": ("members", "ok", "recovered", "quarantined",
+                         "wall_s"),
 }
 
 _ENVELOPE = ("event", "seq", "wall", "run_id")
@@ -93,13 +107,19 @@ class RunLog:
     The file is always opened in append mode so resumed runs continue the
     same log; every record is flushed on write so an abrupt kill loses at
     most the record being written (and never corrupts earlier lines).
+    With ``durable=True`` every record is additionally ``fsync``'d to
+    disk — the crash-safe mode ensemble workers use, where a ``SIGKILL``
+    may arrive at any instruction and the supervisor reads the log of the
+    dead process to diagnose it.
     """
 
-    def __init__(self, path: str, run_id: str | None = None):
+    def __init__(self, path: str, run_id: str | None = None,
+                 durable: bool = False):
         directory = os.path.dirname(os.path.abspath(path))
         os.makedirs(directory, exist_ok=True)
         self.path = path
         self.run_id = run_id if run_id is not None else uuid.uuid4().hex[:12]
+        self.durable = bool(durable)
         self._fh = open(path, "a", encoding="utf-8")
         self._lock = threading.Lock()
         self._seq = 0
@@ -119,6 +139,8 @@ class RunLog:
             rec.update(fields)
             self._fh.write(json.dumps(_jsonable(rec)) + "\n")
             self._fh.flush()
+            if self.durable:
+                os.fsync(self._fh.fileno())
             self._seq += 1
 
     @property
@@ -219,24 +241,37 @@ def validate_jsonl(path: str) -> dict:
     """Validate a whole run log.
 
     Returns ``{"records": n, "events": {event: count}, "errors":
-    [(lineno, message), ...]}``; a log is valid iff ``errors`` is empty.
+    [(lineno, message), ...], "truncated_tail": bool}``; a log is valid
+    iff ``errors`` is empty.  A *torn final line* — the one partial record
+    an abrupt kill can leave, recognizable because the file does not end
+    in a newline — is an expected crash artifact, not corruption: it is
+    reported as ``truncated_tail`` instead of failing the whole file.
     """
     events: dict[str, int] = {}
     errors: list[tuple[int, str]] = []
     n = 0
     with open(path, encoding="utf-8") as fh:
-        for lineno, line in enumerate(fh, start=1):
-            line = line.strip()
-            if not line:
+        raw = fh.read()
+    torn = bool(raw) and not raw.endswith("\n")
+    truncated_tail = False
+    lines = raw.splitlines()
+    for lineno, line in enumerate(lines, start=1):
+        line = line.strip()
+        if not line:
+            continue
+        n += 1
+        try:
+            rec = json.loads(line)
+        except json.JSONDecodeError as exc:
+            if torn and lineno == len(lines):
+                truncated_tail = True
+                n -= 1
                 continue
-            n += 1
-            try:
-                rec = json.loads(line)
-            except json.JSONDecodeError as exc:
-                errors.append((lineno, f"invalid JSON: {exc}"))
-                continue
-            for msg in validate_record(rec):
-                errors.append((lineno, msg))
-            if isinstance(rec, dict) and isinstance(rec.get("event"), str):
-                events[rec["event"]] = events.get(rec["event"], 0) + 1
-    return {"records": n, "events": events, "errors": errors}
+            errors.append((lineno, f"invalid JSON: {exc}"))
+            continue
+        for msg in validate_record(rec):
+            errors.append((lineno, msg))
+        if isinstance(rec, dict) and isinstance(rec.get("event"), str):
+            events[rec["event"]] = events.get(rec["event"], 0) + 1
+    return {"records": n, "events": events, "errors": errors,
+            "truncated_tail": truncated_tail}

@@ -210,3 +210,80 @@ class TestCaptureRestore:
         restore_state(solver, snap)
         assert np.array_equal(solver.Q, q_before)
         assert solver.t == float(snap["t"])
+
+
+# ----------------------------------------------------------------------
+class TestCorruptFallback:
+    """A damaged newest rotation must never poison a resume (ISSUE 6)."""
+
+    def _two_rotations(self, tmp_path):
+        solver = build_gts()
+        mgr = CheckpointManager(str(tmp_path), solver, keep=3)
+        solver.run(0.05)
+        mgr.save(10)
+        good_state = capture_state(solver)
+        solver.run(0.1)
+        mgr.save(20)
+        return solver, mgr, good_state
+
+    def test_restore_latest_skips_corrupt_newest(self, tmp_path):
+        solver, mgr, good_state = self._two_rotations(tmp_path)
+        # kill -9 mid-write through a non-atomic path: garbage newest file
+        with open(mgr.path_for(20), "wb") as f:
+            f.write(b"\x00" * 100)
+        solver.run(0.15)  # wander away from both rotations
+        with pytest.warns(RuntimeWarning, match="skipping unreadable"):
+            meta = mgr.restore_latest()
+        assert meta is not None and int(float(meta["step"])) == 10
+        assert solver.t == float(good_state["t"])
+        assert np.array_equal(solver.Q, good_state["Q"])
+
+    def test_restore_latest_skips_truncated_newest(self, tmp_path):
+        solver, mgr, good_state = self._two_rotations(tmp_path)
+        raw = open(mgr.path_for(20), "rb").read()
+        with open(mgr.path_for(20), "wb") as f:
+            f.write(raw[: len(raw) // 2])  # torn at half length
+        with pytest.warns(RuntimeWarning, match="skipping unreadable"):
+            meta = mgr.restore_latest()
+        assert int(float(meta["step"])) == 10
+        assert np.array_equal(solver.Q, good_state["Q"])
+
+    def test_restore_latest_all_corrupt_returns_none(self, tmp_path):
+        solver, mgr, _ = self._two_rotations(tmp_path)
+        for step in (10, 20):
+            with open(mgr.path_for(step), "wb") as f:
+                f.write(b"junk")
+        with pytest.warns(RuntimeWarning):
+            assert mgr.restore_latest() is None
+
+    def test_fingerprint_mismatch_still_raises_strict(self, tmp_path):
+        solver = build_gts(order=2)
+        mgr = CheckpointManager(str(tmp_path), solver, keep=3)
+        mgr.save(10)
+        other = CoupledSolver(solver.mesh, order=1)
+        mgr2 = CheckpointManager(str(tmp_path), other, keep=3)
+        # damaged files are a fallback case; a *foreign* checkpoint is not
+        with pytest.raises(CheckpointError, match="different problem"):
+            mgr2.restore_latest()
+
+    def test_latest_checkpoint_validate_skips_corrupt(self, tmp_path):
+        solver, mgr, _ = self._two_rotations(tmp_path)
+        with open(mgr.path_for(20), "wb") as f:
+            f.write(b"\x00junk")
+        # without validation the damaged newest wins; with it, the
+        # next-newest readable rotation does
+        assert latest_checkpoint(str(tmp_path)) == mgr.path_for(20)
+        with pytest.warns(RuntimeWarning, match="skipping unreadable"):
+            best = latest_checkpoint(str(tmp_path), validate=True)
+        assert best == mgr.path_for(10)
+
+    def test_candidates_sorted_newest_first(self, tmp_path):
+        solver = build_gts()
+        mgr = CheckpointManager(str(tmp_path), solver, keep=5)
+        for step in (5, 30, 10):
+            mgr.save(step)
+        from repro.io.checkpoint import checkpoint_candidates
+
+        steps = [int(os.path.basename(p)[5:-4])
+                 for p in checkpoint_candidates(str(tmp_path))]
+        assert steps == [30, 10, 5]

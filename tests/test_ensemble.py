@@ -1,0 +1,402 @@
+"""Fault-tolerant ensemble driver: supervision, retry ladder, chaos.
+
+The fast tier exercises the retry policy, the spec registry/pickling
+contract, the worker's result publishing, and the supervisor's degraded
+in-process mode (where injected kill/hang faults raise instead of
+killing the test runner).  The ``slow`` tier is the chaos matrix across
+real spawned processes: kill -9, hangs, corrupt result files, and
+persistent failures driving quarantine — asserting the driver never
+crashes and every recovered member is *bitwise identical* to its
+uninterrupted twin.
+"""
+
+import json
+import os
+import pickle
+
+import pytest
+
+from repro.core.health.inject import (
+    FaultInjector,
+    InjectedHang,
+    InjectedWorkerDeath,
+)
+from repro.ensemble import (
+    EnsembleResult,
+    MemberSpec,
+    RetryPolicy,
+    Supervisor,
+    available_builders,
+    get_builder,
+    load_result,
+    run_member,
+    state_digest,
+)
+from repro.ensemble.worker import RESULT_NAME
+from repro.obs.runlog import validate_jsonl
+
+#: smallest useful member: 27-element coupled mesh, ~25 steps
+TINY = dict(builder="quickstart", perturb={"n_x": 4}, t_end=0.12,
+            checkpoint_every=0.03)
+
+
+def tiny_spec(member_id="m0", seed=7, **over):
+    kw = {**TINY, **over}
+    return MemberSpec(member_id=member_id, seed=seed, **kw)
+
+
+# ----------------------------------------------------------------------
+class TestRetryPolicy:
+    def test_deterministic_per_seed_and_strike(self):
+        pol = RetryPolicy()
+        a = pol.decide(2, seed=11)
+        b = pol.decide(2, seed=11)
+        assert a == b
+        assert pol.decide(2, seed=12).delay_s != a.delay_s
+
+    def test_backoff_grows_and_caps(self):
+        pol = RetryPolicy(max_retries=20, backoff_base=0.5, jitter=0.0,
+                          max_delay_s=4.0)
+        delays = [pol.decide(s, seed=0).delay_s for s in range(1, 8)]
+        assert delays == sorted(delays)
+        assert delays[0] == pytest.approx(0.5)
+        assert delays[-1] == 4.0
+
+    def test_escalation_ladder(self):
+        pol = RetryPolicy(max_retries=4, dt_scale_after=2, dt_backoff=0.5)
+        # strike 1: resume, but full dt — keeps single-fault recoveries
+        # bitwise identical to the uninterrupted run
+        d1 = pol.decide(1, seed=0)
+        assert d1.retry and d1.resume and d1.dt_scale == 1.0
+        # strikes 2..: dt backs off geometrically
+        assert pol.decide(2, seed=0).dt_scale == 0.5
+        assert pol.decide(3, seed=0).dt_scale == 0.25
+        # past the budget: no retry, quarantine
+        assert not pol.decide(5, seed=0).retry
+
+    def test_dt_scale_floor(self):
+        pol = RetryPolicy(max_retries=50, min_dt_scale=0.25)
+        assert pol.decide(40, seed=0).dt_scale == 0.25
+
+    def test_jitter_bounded(self):
+        pol = RetryPolicy(backoff_base=1.0, backoff_factor=1.0, jitter=0.25,
+                          max_delay_s=100.0)
+        for seed in range(20):
+            d = pol.decide(1, seed=seed).delay_s
+            assert 1.0 <= d <= 1.25
+
+
+class TestSpecRegistry:
+    def test_builtin_builders_registered(self):
+        names = available_builders()
+        for expected in ("quickstart", "scenario_a", "palu"):
+            assert expected in names
+
+    def test_unknown_builder_rejected(self):
+        with pytest.raises(KeyError, match="unknown scenario builder"):
+            get_builder("no_such_scenario")
+        with pytest.raises(KeyError):
+            tiny_spec(builder="no_such_scenario").build()
+
+    def test_spec_validation(self):
+        with pytest.raises(ValueError, match="member_id"):
+            MemberSpec(member_id="")
+        with pytest.raises(ValueError, match="t_end"):
+            MemberSpec(member_id="x", t_end=0.0)
+
+    def test_spec_pickles_with_injector(self):
+        # the spawn boundary: specs cross by value, builders by name
+        spec = tiny_spec(injector=FaultInjector().kill_process(at_step=5))
+        clone = pickle.loads(pickle.dumps(spec))
+        assert clone.member_id == spec.member_id
+        assert clone.builder == spec.builder
+        assert clone.injector is not None
+        assert clone.without_injector().injector is None
+        clone.build()  # registry resolves after the round trip
+
+    def test_perturbation_changes_trajectory(self, tmp_path):
+        base = run_member(tiny_spec(), str(tmp_path / "a"))
+        moved = run_member(
+            tiny_spec(perturb={"n_x": 4, "amp_jitter": 0.3}, seed=99),
+            str(tmp_path / "b"),
+        )
+        assert base["digest"] != moved["digest"]
+
+
+# ----------------------------------------------------------------------
+class TestWorker:
+    def test_inline_run_reproducible(self, tmp_path):
+        r1 = run_member(tiny_spec(), str(tmp_path / "a"))
+        r2 = run_member(tiny_spec(), str(tmp_path / "b"))
+        assert r1["status"] == "completed"
+        assert r1["digest"] == r2["digest"]
+        assert r1["sim_t"] == pytest.approx(TINY["t_end"])
+
+    def test_digest_matches_direct_solver_run(self, tmp_path):
+        # comparable to a bare solver.run only without mid-run checkpoint
+        # segments (segment boundaries clamp dt exactly like t_end does)
+        spec = tiny_spec(checkpoint_every=None)
+        result = run_member(spec, str(tmp_path / "m"))
+        handle = spec.build()
+        handle.solver.run(spec.t_end)
+        assert result["digest"] == state_digest(handle.solver, handle.lts)
+
+    def test_result_file_published_and_valid(self, tmp_path):
+        result = run_member(tiny_spec(), str(tmp_path / "m"))
+        on_disk = load_result(result["paths"]["result"])
+        assert on_disk is not None
+        assert on_disk["digest"] == result["digest"]
+        assert on_disk["attempt"] == 1
+        # durable member run log survives validation, heartbeats included
+        report = validate_jsonl(result["paths"]["runlog"])
+        assert not report["errors"], report["errors"]
+        assert report["events"].get("heartbeat", 0) >= 1
+
+    def test_load_result_rejects_garbage(self, tmp_path):
+        path = str(tmp_path / RESULT_NAME)
+        assert load_result(path) is None  # missing
+        with open(path, "w") as f:
+            f.write('{"member_id": "x", "truncat')
+        assert load_result(path) is None  # torn
+        with open(path, "w") as f:
+            json.dump({"member_id": "x"}, f)
+        assert load_result(path) is None  # missing required keys
+
+    def test_injected_corrupt_result_is_unreadable(self, tmp_path):
+        spec = tiny_spec(injector=FaultInjector().corrupt_result(on_attempt=1))
+        result = run_member(spec, str(tmp_path / "m"))
+        assert load_result(result["paths"]["result"]) is None
+
+
+# ----------------------------------------------------------------------
+class TestSupervisorInProcess:
+    """Degraded (workers=0) mode: same ladder, simulated process faults."""
+
+    def run_ensemble(self, specs, tmp_path, **kw):
+        kw.setdefault("retry", RetryPolicy(max_retries=2, backoff_base=0.01,
+                                           max_delay_s=0.02))
+        sup = Supervisor(specs, workers=0, out_dir=str(tmp_path), **kw)
+        return sup.run()
+
+    def test_clean_ensemble_all_ok(self, tmp_path):
+        specs = [tiny_spec(f"m{k}", seed=k) for k in range(2)]
+        result = self.run_ensemble(specs, tmp_path)
+        assert result.counts == {"ok": 2, "recovered": 0, "quarantined": 0}
+        assert not result.degraded
+        for m in result.members:
+            assert m.attempts == 1 and m.digest
+
+    def test_simulated_kill_recovers_bitwise(self, tmp_path):
+        spec = tiny_spec(injector=FaultInjector().kill_process(at_step=10))
+        result = self.run_ensemble([spec], tmp_path / "chaos")
+        twin = run_member(spec.without_injector(), str(tmp_path / "twin"))
+        m = result.members[0]
+        assert m.status == "recovered"
+        assert m.attempts == 2
+        assert m.dt_scale == 1.0  # first retry must not perturb physics
+        assert m.digest == twin["digest"]
+        assert "killed (simulated)" in m.history[0]["reason"]
+
+    def test_simulated_hang_recovers(self, tmp_path):
+        spec = tiny_spec(injector=FaultInjector().hang(at_step=8))
+        result = self.run_ensemble([spec], tmp_path)
+        m = result.members[0]
+        assert m.status == "recovered"
+        assert "heartbeat_timeout (simulated)" in m.history[0]["reason"]
+
+    def test_corrupt_result_harmless_in_process(self, tmp_path):
+        # without a process boundary the supervisor consumes the in-memory
+        # result, so a torn result *file* cannot fail the attempt — that
+        # failure mode only exists (and is chaos-tested) across spawn
+        spec = tiny_spec(injector=FaultInjector().corrupt_result(on_attempt=1))
+        result = self.run_ensemble([spec], tmp_path / "chaos")
+        m = result.members[0]
+        assert m.status == "ok"
+        assert load_result(m.paths["result"]) is None  # file IS torn
+
+    def test_persistent_kill_quarantines_with_diagnosis(self, tmp_path):
+        spec = tiny_spec(injector=FaultInjector().kill_process(
+            at_step=10, persistent=True))
+        result = self.run_ensemble([spec], tmp_path)
+        m = result.members[0]
+        assert m.status == "quarantined"
+        assert m.attempts == 3  # initial + max_retries=2
+        assert len(m.history) == 3
+        assert "quarantined after 3 attempt(s)" in m.diagnosis
+        assert result.degraded
+
+    def test_fleet_survives_one_bad_member(self, tmp_path):
+        specs = [
+            tiny_spec("good", seed=1),
+            tiny_spec("bad", seed=2, injector=FaultInjector().kill_process(
+                at_step=5, persistent=True)),
+        ]
+        result = self.run_ensemble(specs, tmp_path)
+        assert result.member("good").status == "ok"
+        assert result.member("bad").status == "quarantined"
+
+    def test_supervisor_events_logged_and_valid(self, tmp_path):
+        spec = tiny_spec(injector=FaultInjector().kill_process(at_step=10))
+        self.run_ensemble([spec], tmp_path)
+        report = validate_jsonl(os.path.join(str(tmp_path), "ensemble.jsonl"))
+        assert not report["errors"], report["errors"]
+        ev = report["events"]
+        assert ev["member_start"] == 2
+        assert ev["member_retry"] == 1
+        assert ev["member_end"] == 1
+        assert ev["ensemble_summary"] == 1
+
+    def test_ensemble_result_round_trips(self, tmp_path):
+        spec = tiny_spec()
+        self.run_ensemble([spec], tmp_path)
+        loaded = EnsembleResult.load(os.path.join(str(tmp_path),
+                                                  "ensemble.json"))
+        assert loaded.counts["ok"] == 1
+        assert loaded.member("m0").digest
+
+    def test_duplicate_member_ids_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="unique"):
+            Supervisor([tiny_spec("x"), tiny_spec("x")],
+                       out_dir=str(tmp_path))
+
+
+class TestSimulatedFaultPlumbing:
+    def test_kill_raises_only_in_simulate_mode(self):
+        inj = FaultInjector().kill_process(at_step=3)
+        inj.process_gate(2, attempt=1, simulate=True)  # not due yet
+        with pytest.raises(InjectedWorkerDeath):
+            inj.process_gate(3, attempt=1, simulate=True)
+        inj2 = FaultInjector().hang(at_step=3)
+        with pytest.raises(InjectedHang):
+            inj2.process_gate(3, attempt=1, simulate=True)
+
+    def test_attempt_scoping(self):
+        # one-shot faults are scoped to a process incarnation: a respawned
+        # attempt gets a freshly unpickled injector, so `fired` cannot
+        # carry over — on_attempt is what prevents an infinite kill loop
+        inj = pickle.loads(pickle.dumps(
+            FaultInjector().kill_process(at_step=3, on_attempt=1)))
+        inj.process_gate(3, attempt=2, simulate=True)  # wrong attempt: quiet
+        inj_p = FaultInjector().kill_process(at_step=3, persistent=True)
+        for attempt in (1, 2, 3):
+            fresh = pickle.loads(pickle.dumps(inj_p))
+            with pytest.raises(InjectedWorkerDeath):
+                fresh.process_gate(3, attempt=attempt, simulate=True)
+
+    def test_result_gate_consumes_action(self):
+        inj = FaultInjector().corrupt_result(on_attempt=2)
+        assert not inj.result_gate(attempt=1)
+        assert inj.result_gate(attempt=2)
+        assert not inj.result_gate(attempt=2)  # one-shot
+
+
+# ----------------------------------------------------------------------
+@pytest.mark.slow
+class TestSupervisorMultiprocess:
+    """The chaos matrix over real spawned worker processes."""
+
+    RETRY = RetryPolicy(max_retries=2, backoff_base=0.05, max_delay_s=0.2)
+
+    def run_ensemble(self, specs, out_dir, **kw):
+        kw.setdefault("retry", self.RETRY)
+        kw.setdefault("member_timeout", 60.0)
+        sup = Supervisor(specs, workers=kw.pop("workers", 2),
+                         out_dir=str(out_dir), **kw)
+        return sup.run()
+
+    def test_clean_ensemble_matches_inline(self, tmp_path):
+        specs = [tiny_spec(f"m{k}", seed=k) for k in range(2)]
+        result = self.run_ensemble(specs, tmp_path / "ens")
+        assert result.counts == {"ok": 2, "recovered": 0, "quarantined": 0}
+        for k, m in enumerate(result.members):
+            twin = run_member(specs[k], str(tmp_path / f"twin{k}"))
+            assert m.digest == twin["digest"], m.member_id
+
+    def test_kill9_recovers_bitwise(self, tmp_path):
+        spec = tiny_spec(injector=FaultInjector().kill_process(
+            at_step=10, on_attempt=1))
+        result = self.run_ensemble([spec], tmp_path / "ens")
+        twin = run_member(spec.without_injector(), str(tmp_path / "twin"))
+        m = result.members[0]
+        assert m.status == "recovered"
+        assert m.attempts == 2
+        assert m.digest == twin["digest"]
+        assert "signal 9" in m.history[0]["reason"]
+
+    def test_hang_detected_by_heartbeat_timeout(self, tmp_path):
+        spec = tiny_spec(injector=FaultInjector().hang(at_step=8))
+        result = self.run_ensemble([spec], tmp_path / "ens",
+                                   member_timeout=3.0)
+        twin = run_member(spec.without_injector(), str(tmp_path / "twin"))
+        m = result.members[0]
+        assert m.status == "recovered"
+        assert m.digest == twin["digest"]
+        assert "heartbeat_timeout" in m.history[0]["reason"]
+
+    def test_corrupt_result_file_retries(self, tmp_path):
+        spec = tiny_spec(injector=FaultInjector().corrupt_result(on_attempt=1))
+        result = self.run_ensemble([spec], tmp_path / "ens")
+        twin = run_member(spec.without_injector(), str(tmp_path / "twin"))
+        m = result.members[0]
+        assert m.status == "recovered"
+        assert m.digest == twin["digest"]
+        assert m.history[0]["reason"] == "corrupt_result"
+
+    def test_persistent_kill_quarantined_with_history(self, tmp_path):
+        spec = tiny_spec(injector=FaultInjector().kill_process(
+            at_step=10, persistent=True))
+        result = self.run_ensemble([spec], tmp_path / "ens")
+        m = result.members[0]
+        assert m.status == "quarantined"
+        assert m.attempts == 3
+        assert len(m.history) == 3
+        assert all("signal 9" in h["reason"] for h in m.history)
+        assert "quarantined after 3 attempt(s)" in m.diagnosis
+        # escalation recorded: the second strike already reduced dt
+        # (the final entry is the quarantine decision itself, no retry)
+        assert m.history[1]["dt_scale"] < 1.0
+
+    def test_chaos_fleet_complete_result(self, tmp_path):
+        """Mixed fleet: clean + killed + corrupt; the driver always
+        terminates with one result per member and a valid event log."""
+        specs = [
+            tiny_spec("clean", seed=1),
+            tiny_spec("killed", seed=2,
+                      injector=FaultInjector().kill_process(at_step=10)),
+            tiny_spec("torn", seed=3,
+                      injector=FaultInjector().corrupt_result(on_attempt=1)),
+        ]
+        result = self.run_ensemble(specs, tmp_path / "ens", workers=3)
+        assert len(result.members) == 3
+        assert result.member("clean").status == "ok"
+        assert result.member("killed").status == "recovered"
+        assert result.member("torn").status == "recovered"
+        for m in result.members:
+            spec = next(s for s in specs if s.member_id == m.member_id)
+            twin = run_member(spec.without_injector(),
+                              str(tmp_path / f"twin_{m.member_id}"))
+            assert m.digest == twin["digest"], m.member_id
+        report = validate_jsonl(result.runlog_path)
+        assert not report["errors"], report["errors"]
+        assert report["events"]["ensemble_summary"] == 1
+
+
+@pytest.mark.slow
+class TestEnsembleCLI:
+    def test_cli_clean_run(self, tmp_path):
+        import subprocess
+        import sys
+
+        env = dict(os.environ)
+        src = os.path.join(os.path.dirname(os.path.dirname(
+            os.path.abspath(__file__))), "src")
+        env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro", "ensemble", "--members", "2",
+             "--workers", "2", "--t-end", "0.12", "--checkpoint-every",
+             "0.04", "--out", str(tmp_path / "out")],
+            capture_output=True, text=True, env=env, timeout=300,
+        )
+        assert proc.returncode == 0, proc.stderr
+        loaded = EnsembleResult.load(str(tmp_path / "out" / "ensemble.json"))
+        assert loaded.counts["ok"] == 2

@@ -581,3 +581,77 @@ class TestReport:
         with open(path, "a") as fh:
             fh.write("garbage\n")
         assert mod.main([path]) == 1
+
+
+# ----------------------------------------------------------------------
+class TestRunLogDurability:
+    """Crash-safe logging for ensemble workers (ISSUE 6 satellites)."""
+
+    def test_durable_records_visible_before_close(self, tmp_path):
+        path = str(tmp_path / "run.jsonl")
+        log = RunLog(path, durable=True)
+        log.emit("heartbeat", step=1, sim_t=0.0, dt=0.1, energy=0.0,
+                 wall_rate=1.0)
+        # no close(): a kill -9 right now must still leave the record
+        with open(path) as fh:
+            recs = [json.loads(line) for line in fh]
+        assert len(recs) == 1 and recs[0]["event"] == "heartbeat"
+        log.close()
+
+    def test_torn_final_line_reported_not_failed(self, tmp_path):
+        path = str(tmp_path / "run.jsonl")
+        with RunLog(path) as log:
+            log.emit("heartbeat", step=1, sim_t=0.0, dt=0.1, energy=0.0,
+                     wall_rate=1.0)
+        with open(path, "a") as fh:
+            fh.write('{"event": "heartbeat", "step": 2, "si')  # no newline
+        result = validate_jsonl(path)
+        assert result["errors"] == []
+        assert result["truncated_tail"]
+        assert result["records"] == 1  # the torn tail is not a record
+
+    def test_garbage_with_newline_still_an_error(self, tmp_path):
+        # only an UNTERMINATED final line is a legitimate crash artifact;
+        # newline-terminated garbage is corruption and must keep failing
+        path = str(tmp_path / "run.jsonl")
+        with RunLog(path) as log:
+            log.emit("heartbeat", step=1, sim_t=0.0, dt=0.1, energy=0.0,
+                     wall_rate=1.0)
+        with open(path, "a") as fh:
+            fh.write("not json\n")
+        result = validate_jsonl(path)
+        assert result["errors"]
+        assert not result["truncated_tail"]
+
+    def test_torn_mid_file_line_still_an_error(self, tmp_path):
+        path = str(tmp_path / "run.jsonl")
+        with open(path, "w") as fh:
+            fh.write('{"torn": \n')
+            fh.write('{"event": "heartbeat", "step": 2, "si')
+        result = validate_jsonl(path)
+        # the mid-file bad line errors even though the tail is tolerated
+        assert any("invalid JSON" in m for _, m in result["errors"])
+        assert result["truncated_tail"]
+
+    def test_supervisor_events_schema(self, tmp_path):
+        path = str(tmp_path / "ens.jsonl")
+        with RunLog(path) as log:
+            log.emit("member_start", member="m0", attempt=1,
+                     scenario="quickstart", pid=123)
+            log.emit("member_retry", member="m0", attempt=1,
+                     reason="killed by signal 9", delay_s=0.25, resume=True,
+                     dt_scale=1.0)
+            log.emit("member_quarantined", member="m0", attempts=3,
+                     diagnosis="quarantined after 3 attempt(s)")
+            log.emit("member_end", member="m0", status="quarantined",
+                     attempts=3, wall_s=1.5)
+            log.emit("ensemble_summary", members=1, ok=0, recovered=0,
+                     quarantined=1, wall_s=2.0)
+        result = validate_jsonl(path)
+        assert result["errors"] == []
+        assert result["records"] == 5
+        # an incomplete supervisor event is caught by validation
+        with RunLog(str(tmp_path / "x.jsonl")) as bad:
+            bad.emit("member_start", member="m")
+        msgs = [m for _, m in validate_jsonl(str(tmp_path / "x.jsonl"))["errors"]]
+        assert any("missing required field" in m for m in msgs)

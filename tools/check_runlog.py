@@ -51,6 +51,8 @@ def main(argv=None) -> int:
         ok = False
 
     summary = ", ".join(f"{k}={v}" for k, v in sorted(events.items()))
+    if result.get("truncated_tail"):
+        summary += ", truncated_tail"
     status = "OK" if ok else "FAIL"
     print(f"check_runlog: {args.runlog}: {result['records']} record(s) "
           f"[{summary}] -> {status}")

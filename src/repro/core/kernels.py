@@ -24,6 +24,15 @@ import numpy as np
 
 from ..core.riemann import FaceKind
 from ..exec.plan_cache import OperatorPlan, get_plan_cache
+from ..kernels import plan_kind as _plan_kind
+from ..kernels import resolve_kernel_variant
+from ..kernels.fusion import (
+    attach_fused_groups,
+    fused_boundary_residual,
+    fused_ck,
+    fused_interior_residual,
+    fused_volume_residual,
+)
 from ..obs.telemetry import get_telemetry
 from .ader import ck_derivatives, star_matrices
 from .basis import get_reference_element
@@ -42,14 +51,21 @@ _TEL = get_telemetry()
 
 
 class _InteriorGroup:
-    """Faces sharing one (minus face, plus face, permutation) class."""
+    """Faces sharing one (minus face, plus face, permutation) class.
+
+    Fused plans additionally carry the folded surface factors of
+    :func:`repro.kernels.fusion.attach_fused_groups`: the per-class
+    ``(B, B)`` basis projectors ``Amm``/``Amp``/``App``/``Apm`` and the
+    per-face scale-folded transposed flux matrices ``G1``-``G4``.
+    """
 
     __slots__ = ("face_ids", "em", "ep", "minus_face", "plus_face", "perm",
-                 "scale_m", "scale_p", "Fmm", "Fpm", "Fmp", "Fpp")
+                 "scale_m", "scale_p", "Fmm", "Fpm", "Fmp", "Fpp",
+                 "Amm", "Amp", "App", "Apm", "G1", "G2", "G3", "G4")
 
 
 class _BoundaryGroup:
-    __slots__ = ("face_ids", "elem", "face", "scale", "F")
+    __slots__ = ("face_ids", "elem", "face", "scale", "F", "A", "G")
 
 
 class SpatialOperator:
@@ -62,31 +78,56 @@ class SpatialOperator:
     ablation benchmark; never use it for production.
     """
 
-    def __init__(self, mesh, order: int, gravity_g: float = 9.81, flux_variant: str = "exact"):
+    def __init__(self, mesh, order: int, gravity_g: float = 9.81,
+                 flux_variant: str = "exact", kernel_variant: str | None = None):
         if flux_variant not in ("exact", "one_sided"):
             raise ValueError(f"unknown flux variant {flux_variant!r}")
         self.flux_variant = flux_variant
+        self.kernel_variant = resolve_kernel_variant(kernel_variant)
+        self.plan_kind = _plan_kind(self.kernel_variant)
         self.mesh = mesh
         self.order = order
         self.ref = get_reference_element(order)
         self.g = gravity_g
         self._n_elements = mesh.n_elements
         # the expensive setup (star Jacobians + per-face flux matrices) is
-        # memoized per problem fingerprint; plans are immutable and shared
-        plan = get_plan_cache().get_or_build(mesh, order, flux_variant, self._build_plan)
+        # memoized per problem fingerprint *and plan kind*; plans are
+        # immutable and shared
+        plan = get_plan_cache().get_or_build(
+            mesh, order, flux_variant, self._build_plan, kind=self.plan_kind)
         self.star = plan.star
         self.starT = plan.starT
         self.interior_groups = plan.interior_groups
         self.boundary_groups = plan.boundary_groups
+        self._init_variant_state()
+
+    def _init_variant_state(self) -> None:
+        """Per-instance dispatch state (never part of the shared plan)."""
+        fused = self.kernel_variant != "batched"
+        suffix = "_fused" if fused else ""
+        self._phase_volume = "kernels/volume" + suffix
+        self._phase_interior = "kernels/surface_interior" + suffix
+        self._phase_boundary = "kernels/surface_boundary" + suffix
+        # content-addressed masked sub-plan caches of the fused kernels
+        # (one mask per LTS cluster; see repro.kernels.fusion)
+        from collections import OrderedDict
+
+        self._mask_cache_volume = OrderedDict()
+        self._mask_cache_interior = OrderedDict()
+        self._mask_cache_boundary = OrderedDict()
 
     def _build_plan(self) -> OperatorPlan:
         star = star_matrices(self.mesh)
-        return OperatorPlan(
+        plan = OperatorPlan(
             star=star,
             starT=star.transpose(0, 1, 3, 2).copy(),
             interior_groups=self._build_interior(),
             boundary_groups=self._build_boundary(),
+            kind=self.plan_kind,
         )
+        if self.plan_kind == "fused":
+            attach_fused_groups(plan, self.ref)
+        return plan
 
     # ------------------------------------------------------------------
     @property
@@ -228,6 +269,8 @@ class SpatialOperator:
         cells = np.asarray(cells)
         sub = object.__new__(SpatialOperator)
         sub.flux_variant = self.flux_variant
+        sub.kernel_variant = self.kernel_variant
+        sub.plan_kind = self.plan_kind
         sub.mesh = self.mesh
         sub.order = self.order
         sub.ref = self.ref
@@ -235,6 +278,8 @@ class SpatialOperator:
         sub._n_elements = len(cells)
         sub.star = self.star[cells]
         sub.starT = self.starT[cells]
+        sub._init_variant_state()
+        fused = self.plan_kind == "fused"
         g2l = np.full(self.n_elements, -1, dtype=np.int64)
         g2l[cells] = np.arange(len(cells))
         owned = np.zeros(self.n_elements, dtype=bool)
@@ -263,6 +308,11 @@ class SpatialOperator:
             g.Fpm = grp.Fpm[sel]
             g.Fmp = grp.Fmp[sel]
             g.Fpp = grp.Fpp[sel]
+            if fused:
+                g.Amm, g.Amp = grp.Amm, grp.Amp
+                g.App, g.Apm = grp.App, grp.Apm
+                g.G1, g.G2 = grp.G1[sel], grp.G2[sel]
+                g.G3, g.G4 = grp.G3[sel], grp.G4[sel]
             sub.interior_groups.append(g)
 
         sub.boundary_groups = []
@@ -276,18 +326,48 @@ class SpatialOperator:
             b.face = grp.face[sel]
             b.scale = grp.scale[sel]
             b.F = grp.F[sel]
+            if fused:
+                b.A = grp.A
+                b.G = grp.G[sel]
             sub.boundary_groups.append(b)
         return sub
 
     # ------------------------------------------------------------------
-    def predict(self, Q: np.ndarray) -> np.ndarray:
+    def predict(self, Q: np.ndarray,
+                out: np.ndarray | None = None) -> np.ndarray:
         """Cauchy-Kowalewski derivatives ``(ne, N+1, B, 9)``."""
-        return ck_derivatives(Q, self.star, self.ref)
+        return self.predict_states(Q, self.star, self.starT, out=out)
+
+    def predict_states(self, Q: np.ndarray, star: np.ndarray,
+                       starT: np.ndarray | None = None,
+                       out: np.ndarray | None = None) -> np.ndarray:
+        """Variant-dispatched Cauchy-Kowalewski sweep over arbitrary
+        state/Jacobian batches (element subsets of LTS cluster updates and
+        partitioned workers included).
+
+        ``out`` is a scratch-buffer *hint*: it must be an array this
+        method previously returned for the same variant and batch shape
+        (backends keep last step's derivatives around for this).  The
+        result is whatever array is returned — the batched variant
+        ignores the hint.
+        """
+        if self.kernel_variant == "batched":
+            return ck_derivatives(Q, star, self.ref)
+        if starT is None:
+            starT = np.ascontiguousarray(star.transpose(0, 1, 3, 2))
+        if self.kernel_variant == "jit":
+            from ..kernels.jit import jit_ck
+
+            return jit_ck(Q, starT, self.ref, out=out)
+        return fused_ck(Q, starT, self.ref, out=out)
 
     def volume_residual(self, I: np.ndarray, out: np.ndarray, active=None) -> None:
         """Add the stiffness (volume) term of the corrector to ``out``."""
-        with _TEL.phase("kernels/volume"):
-            self._volume_residual(I, out, active)
+        with _TEL.phase(self._phase_volume):
+            if self.kernel_variant == "batched":
+                self._volume_residual(I, out, active)
+            else:
+                fused_volume_residual(self, I, out, active)
 
     def _volume_residual(self, I, out, active=None) -> None:
         if active is None:
@@ -306,8 +386,11 @@ class SpatialOperator:
         face receive contributions — needed by local time-stepping, where a
         face between clusters is visited by each side at its own cadence.
         """
-        with _TEL.phase("kernels/surface_interior"):
-            self._interior_residual(I, out, active)
+        with _TEL.phase(self._phase_interior):
+            if self.kernel_variant == "batched":
+                self._interior_residual(I, out, active)
+            else:
+                fused_interior_residual(self, I, out, active)
 
     def _interior_residual(self, I, out, active=None) -> None:
         ref = self.ref
@@ -362,8 +445,11 @@ class SpatialOperator:
 
     def boundary_residual(self, I: np.ndarray, out: np.ndarray, active=None) -> None:
         """Add free-surface / absorbing boundary fluxes to ``out``."""
-        with _TEL.phase("kernels/surface_boundary"):
-            self._boundary_residual(I, out, active)
+        with _TEL.phase(self._phase_boundary):
+            if self.kernel_variant == "batched":
+                self._boundary_residual(I, out, active)
+            else:
+                fused_boundary_residual(self, I, out, active)
 
     def _boundary_residual(self, I, out, active=None) -> None:
         ref = self.ref

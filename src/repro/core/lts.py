@@ -112,6 +112,10 @@ class LocalTimeStepping:
         self.cmax = int(self.cluster.max())
         self.n_clusters = self.cmax + 1
         self.masks = [self.cluster == c for c in range(self.n_clusters)]
+        # per-cluster element index arrays, hoisted once: the scheduler's
+        # micro-step loop gathers/scatters with these instead of re-running
+        # boolean-mask selection every step
+        self.idx = [np.flatnonzero(m) for m in self.masks]
         self.elem_count = np.array([int(m.sum()) for m in self.masks])
 
         em, ep = mesh.interior.minus_elem, mesh.interior.plus_elem

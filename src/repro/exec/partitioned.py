@@ -38,7 +38,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from ..core.ader import ck_derivatives, taylor_integrate
+from ..core.ader import taylor_integrate
 from ..core.lts import cluster_elements
 from ..hpc.partition import edge_cut, eq28_vertex_weights, imbalance, partition_mesh
 from ..obs.telemetry import get_telemetry
@@ -86,6 +86,9 @@ class PartitionPlan:
     gravity_mask: np.ndarray # bool over the solver's gravity faces
     motion_mask: np.ndarray | None
     has_fault: bool
+    #: per-partition predictor scratch (only ever a prior predict_states
+    #: result for this partition — one worker task per plan, no sharing)
+    ck_scratch: np.ndarray | None = None
 
     @property
     def n_owned(self) -> int:
@@ -122,6 +125,7 @@ class PartitionedBackend(ExecutionBackend):
             raise ValueError("n_parts must be >= 1")
         self.refine = refine
         self._pool = None
+        self._derivs_scratch = None
         self.plans: list[PartitionPlan] = []
         self.halo_exchanges = 0
 
@@ -196,12 +200,20 @@ class PartitionedBackend(ExecutionBackend):
     # ------------------------------------------------------------------
     def predict(self, Q: np.ndarray) -> np.ndarray:
         op = self.solver.op
-        derivs = np.empty((len(Q), op.order + 1, op.nbasis, 9))
+        # every row is owned by exactly one partition, so the buffer is
+        # fully overwritten each call and can be reused across steps
+        derivs = self._derivs_scratch
+        shape = (len(Q), op.order + 1, op.nbasis, 9)
+        if derivs is None or derivs.shape != shape:
+            derivs = self._derivs_scratch = np.empty(shape)
         tracing = _TEL.enabled and _TEL.tracing
 
         def work(plan):
             t0 = _time.perf_counter() if tracing else 0.0
-            derivs[plan.owned] = ck_derivatives(Q[plan.owned], op.star[plan.owned], op.ref)
+            plan.ck_scratch = op.predict_states(
+                Q[plan.owned], op.star[plan.owned], op.starT[plan.owned],
+                out=plan.ck_scratch)
+            derivs[plan.owned] = plan.ck_scratch
             if tracing:
                 _TEL.add_span("worker/predict", t0, _time.perf_counter(),
                               part=plan.part_id, owned=plan.n_owned)
@@ -221,7 +233,7 @@ class PartitionedBackend(ExecutionBackend):
             if not ids.any():
                 return
             t0 = _time.perf_counter() if tracing else 0.0
-            new_derivs = ck_derivatives(Q[ids], op.star[ids], op.ref)
+            new_derivs = op.predict_states(Q[ids], op.star[ids], op.starT[ids])
             derivs[ids] = new_derivs
             Iown[ids] = taylor_integrate(new_derivs, 0.0, dt)
             if tracing:

@@ -68,10 +68,11 @@ class KernelCounts:
         return self.flops_corrector / (self.bytes_volume + self.bytes_surface)
 
 
-def kernel_counts(order: int, n_quantities: int = 9) -> KernelCounts:
+def kernel_counts(order: int, n_quantities: int = 9,
+                  variant: str = "batched") -> KernelCounts:
     """Count FLOPs/bytes of one full element update at degree ``order``.
 
-    Shapes mirror :mod:`repro.core.kernels`:
+    Shapes mirror :mod:`repro.core.kernels` for ``variant="batched"``:
 
     * predictor: N Cauchy-Kowalewski levels, each 3 x [(B x B) @ (B x Q) +
       (B x Q) @ (Q x Q)] plus the Taylor time integration;
@@ -79,6 +80,14 @@ def kernel_counts(order: int, n_quantities: int = 9) -> KernelCounts:
     * surface: per face, trace extraction (nq x B) @ (B x Q) for both
       sides, two (Q x Q) flux applications at nq points, and the
       back-projection (B x nq) @ (nq x Q).
+
+    ``variant="fused"`` (and ``"jit"``, which shares the fused plan)
+    counts the compiled contraction chains of :mod:`repro.kernels.fusion`
+    instead: degree-truncated Cauchy-Kowalewski levels (level ``k`` maps
+    ``basis_size(N-k)`` modes to ``basis_size(N-k-1)``) and the
+    quadrature-free surface form ``A @ I @ G`` (two ``(B, B) @ (B, Q)``
+    + two ``(B, Q) @ (Q, Q)`` GEMMs per face-side).  Memory traffic is
+    unchanged — fusion removes work, not state.
     """
     N = order
     B = basis_size(order)
@@ -86,10 +95,23 @@ def kernel_counts(order: int, n_quantities: int = 9) -> KernelCounts:
     nq = (order + 2) ** 2  # face quadrature points
 
     level = 3 * (2.0 * B * B * Q + 2.0 * B * Q * Q)
-    fl_pred = N * level + (N + 1) * 2.0 * B * Q  # + time integration
+    if variant == "batched":
+        fl_pred = N * level + (N + 1) * 2.0 * B * Q  # + time integration
+        per_face = 2 * (2.0 * nq * B * Q) + 2 * (2.0 * nq * Q * Q) + 2.0 * nq * B * Q
+        fl_surf = 4 * per_face
+    elif variant in ("fused", "jit"):
+        # truncated CK: level k reads sizes[k] modes, writes sizes[k+1]
+        sizes = [basis_size(N - k) for k in range(N + 1)]
+        fl_pred = sum(
+            3 * (2.0 * sizes[k + 1] * sizes[k] * Q + 2.0 * sizes[k + 1] * Q * Q)
+            for k in range(N)
+        ) + (N + 1) * 2.0 * B * Q
+        # per face-side: A @ I (B x B x Q) twice + (.) @ G (B x Q x Q) twice
+        per_side = 2 * (2.0 * B * B * Q) + 2 * (2.0 * B * Q * Q)
+        fl_surf = 4 * per_side
+    else:
+        raise ValueError(f"unknown kernel variant {variant!r}")
     fl_vol = level
-    per_face = 2 * (2.0 * nq * B * Q) + 2 * (2.0 * nq * Q * Q) + 2.0 * nq * B * Q
-    fl_surf = 4 * per_face
 
     by_pred = _DP * (B * Q + (N + 1) * B * Q + 3 * Q * Q)  # read Q + write derivs + star
     by_vol = _DP * (2 * B * Q + 3 * Q * Q)  # read I, accumulate, star
@@ -139,9 +161,13 @@ class NodePerformanceModel:
     gemm_efficiency: float = 0.61
     gather_inefficiency: float = 3.0
     remote_bw_ratio: float = 0.15
+    #: kernel variant whose FLOP counts the model evaluates ("batched",
+    #: "fused" or "jit"); must match the benchmarked execution path, or
+    #: measured GFLOP/s and the roofline disagree by the fusion factor
+    variant: str = "batched"
 
     def __post_init__(self):
-        self.counts = kernel_counts(self.order)
+        self.counts = kernel_counts(self.order, variant=self.variant)
         c = self.counts
         own_proj = 2 * _DP * basis_size(self.order) * 9
         self._neigh_bytes = (c.bytes_surface - own_proj) * self.gather_inefficiency

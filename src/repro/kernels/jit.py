@@ -1,0 +1,84 @@
+"""Numba-compiled element loops over the fused kernel plan.
+
+The ``jit`` variant shares the *plan* (degree-truncated operator stacks,
+folded surface factors) with the fused-NumPy path and swaps only the
+innermost execution strategy of the element-local predictor: one
+compiled loop over elements with small in-register matmuls, instead of
+batched BLAS dispatches.  The corrector kernels stay on the fused NumPy
+path even under ``jit`` — they are large-GEMM dominated, where BLAS
+already wins; the predictor's per-level truncated shapes are where a
+compiled loop beats dispatch overhead.
+
+This module imports numba lazily and only when it is installed; when it
+is absent, :func:`repro.kernels.resolve_kernel_variant` degrades ``jit``
+to ``fused`` before any operator ever dispatches here.  ``fastmath`` is
+deliberately off: the jit results must stay roundoff-equivalent to the
+fused path (the equivalence battery compares them directly).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .fusion import element_plan
+from .registry import have_numba
+
+__all__ = ["jit_available", "jit_ck"]
+
+_CK_KERNEL = None
+
+
+def jit_available() -> bool:
+    """True when the compiled predictor loop can be used."""
+    return have_numba()
+
+
+def _build_ck_kernel():
+    """Compile the Cauchy-Kowalewski element loop (once per process)."""
+    global _CK_KERNEL
+    if _CK_KERNEL is not None:
+        return _CK_KERNEL
+    import numba
+
+    @numba.njit(cache=True, fastmath=False)
+    def ck_kernel(outp, starT, Dpad, sizes, order):  # pragma: no cover
+        ne = outp.shape[0]
+        for e in range(ne):
+            X = outp[e, 0]
+            for k in range(order):
+                n_in = sizes[k]
+                n_out = sizes[k + 1]
+                acc = np.zeros((n_out, X.shape[1]))
+                for d in range(3):
+                    D = Dpad[k, d, :n_out, :n_in]
+                    acc += (D @ X[:n_in]) @ starT[e, d]
+                outp[e, k + 1, :n_out] = -acc
+                X = outp[e, k + 1]
+
+    _CK_KERNEL = ck_kernel
+    return ck_kernel
+
+
+def jit_ck(Q: np.ndarray, starT: np.ndarray, ref,
+           out: np.ndarray | None = None) -> np.ndarray:
+    """Compiled degree-truncated Cauchy-Kowalewski sweep.
+
+    Same contract as :func:`repro.kernels.fusion.fused_ck` (including the
+    ``out`` scratch-buffer reuse); requires numba (callers resolve the
+    variant first, so this is never reached without it).
+    """
+    plan = element_plan(ref.order)
+    ne, nb, nq = Q.shape
+    shape = (ne, ref.order + 1, nb, nq)
+    outp = np.zeros(shape)
+    outp[:, 0] = Q[:, plan.perm, :]
+    if ref.order > 0:
+        kernel = _build_ck_kernel()
+        kernel(outp, starT, plan.Dpad,
+               np.asarray(plan.sizes, dtype=np.int64), ref.order)
+    if out is None or out.shape != shape or out.dtype != np.float64:
+        out = np.empty(shape)
+    # full scatter (the compiled loop zero-fills truncated rows), so a
+    # reused buffer needs no cleaning
+    out[:, :, plan.perm, :] = outp
+    return out

@@ -1,0 +1,86 @@
+"""Kernel-variant registry: names, resolution, plan-cache kinds.
+
+The variant is a *solver-level* choice (``CoupledSolver(...,
+kernel_variant=...)`` or implied by ``--backend jit``) that every layer
+below respects: the spatial operator dispatches its residual kernels on
+it, the operator-plan cache keys plans by the variant's *plan kind* so a
+batched plan is never served to a fused/jit operator, and the benchmark
+battery records it so histories never diff across variants.
+"""
+
+from __future__ import annotations
+
+import warnings
+
+__all__ = [
+    "KERNEL_VARIANTS",
+    "DEFAULT_VARIANT",
+    "have_numba",
+    "resolve_kernel_variant",
+    "plan_kind",
+]
+
+#: every recognized kernel variant, in preference order
+KERNEL_VARIANTS = ("batched", "fused", "jit")
+
+#: the variant used when the caller does not choose one
+DEFAULT_VARIANT = "fused"
+
+_HAVE_NUMBA: bool | None = None
+_FALLBACK_WARNED = False
+
+
+def have_numba() -> bool:
+    """True when numba is importable (checked once per process)."""
+    global _HAVE_NUMBA
+    if _HAVE_NUMBA is None:
+        try:
+            import numba  # noqa: F401
+
+            _HAVE_NUMBA = True
+        except ImportError:
+            _HAVE_NUMBA = False
+    return _HAVE_NUMBA
+
+
+def resolve_kernel_variant(variant: str | None) -> str:
+    """Resolve a requested variant to the one that will actually run.
+
+    ``None`` resolves to :data:`DEFAULT_VARIANT`.  ``"jit"`` degrades to
+    ``"fused"`` (with a one-time warning) when numba is not installed —
+    the graceful-fallback contract of the ``jit`` backend: same plan,
+    same results, NumPy instead of compiled loops.
+    """
+    global _FALLBACK_WARNED
+    if variant is None:
+        return DEFAULT_VARIANT
+    if variant not in KERNEL_VARIANTS:
+        raise ValueError(
+            f"unknown kernel variant {variant!r} "
+            f"(available: {', '.join(KERNEL_VARIANTS)})"
+        )
+    if variant == "jit" and not have_numba():
+        if not _FALLBACK_WARNED:
+            warnings.warn(
+                "numba is not installed; the jit kernel variant falls back "
+                "to the fused-NumPy path (identical results, no compiled "
+                "element loops)",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            _FALLBACK_WARNED = True
+        return "fused"
+    return variant
+
+
+def plan_kind(variant: str) -> str:
+    """The operator-plan flavor a variant executes.
+
+    ``fused`` and ``jit`` share the compiled stacked-GEMM plan; only
+    ``batched`` runs the original per-group einsum plan.  The plan cache
+    keys on this, so a mesh fingerprint hit can never hand a batched
+    plan to a fused/jit operator (or vice versa).
+    """
+    if variant not in KERNEL_VARIANTS:
+        raise ValueError(f"unknown kernel variant {variant!r}")
+    return "batched" if variant == "batched" else "fused"

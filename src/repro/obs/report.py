@@ -45,9 +45,13 @@ __all__ = [
     "summarize_runlog",
 ]
 
-#: leaf phases whose sum is the corrector-kernel busy time
+#: leaf phases whose sum is the corrector-kernel busy time (the fused
+#: kernel variants report under their own ``*_fused`` phase names so a
+#: profile always shows which execution path ran)
 _CORRECTOR_PHASES = ("kernels/volume", "kernels/surface_interior",
-                     "kernels/surface_boundary")
+                     "kernels/surface_boundary",
+                     "kernels/volume_fused", "kernels/surface_interior_fused",
+                     "kernels/surface_boundary_fused")
 
 _WORKER_RE = re.compile(r"(?:^|/)worker/p(\d+)/(halo_gather|compute)$")
 _LTS_RE = re.compile(r"^lts/(updates|elem_updates)/c(\d+)$")
@@ -135,20 +139,24 @@ def lts_cluster_updates(counters: dict) -> dict:
 
 # ----------------------------------------------------------------------
 def roofline_rows(phases: dict, counters: dict, order: int,
-                  node: str | object = "rome") -> list[dict]:
+                  node: str | object = "rome",
+                  variant: str = "batched") -> list[dict]:
     """Measured-vs-modeled roofline rows for the predictor and corrector.
 
     ``node`` is a name from :data:`KNOWN_NODES` or a
-    :class:`~repro.hpc.machine.NodeSpec`.  Rows contain ``kernel``,
-    ``seconds``, ``elem_updates``, ``gflop``, ``measured_gflops``,
-    ``model_gflops`` and ``efficiency`` (measured/model); kernels with no
-    recorded time or updates are omitted.
+    :class:`~repro.hpc.machine.NodeSpec`; ``variant`` is the kernel
+    variant the run executed (its FLOP counts differ — crediting a fused
+    run with batched FLOPs would overstate measured GFLOP/s).  Rows
+    contain ``kernel``, ``seconds``, ``elem_updates``, ``gflop``,
+    ``measured_gflops``, ``model_gflops`` and ``efficiency``
+    (measured/model); kernels with no recorded time or updates are
+    omitted.
     """
     from ..hpc.perfmodel import NodePerformanceModel, kernel_counts
 
     spec = node_spec(node)
-    model = NodePerformanceModel(spec, order=order)
-    kc = kernel_counts(order)
+    model = NodePerformanceModel(spec, order=order, variant=variant)
+    kc = kernel_counts(order, variant=variant)
 
     rows = []
     for kernel, seconds, updates, flops_per_update, model_gflops in (
@@ -178,7 +186,7 @@ def roofline_rows(phases: dict, counters: dict, order: int,
 # ----------------------------------------------------------------------
 def profile_lines(snapshot: dict, order: int | None = None,
                   wall_s: float | None = None, node: str | object = "rome",
-                  top: int = 20) -> list[str]:
+                  top: int = 20, variant: str = "batched") -> list[str]:
     """Render a telemetry snapshot as the per-phase + roofline report."""
     phases = snapshot.get("phases", {})
     counters = snapshot.get("counters", {})
@@ -202,7 +210,7 @@ def profile_lines(snapshot: dict, order: int | None = None,
             lines.append(f"  ... {len(ranked) - top} more phases")
 
     if order is not None:
-        rows = roofline_rows(phases, counters, order, node)
+        rows = roofline_rows(phases, counters, order, node, variant=variant)
         if rows:
             spec = node_spec(node)
             lines.append("")
@@ -325,12 +333,15 @@ def summarize_runlog(path: str, node: str = "rome", check: bool = False) -> int:
 
     if run_end is not None:
         order = manifests[0].get("order") if manifests else None
+        variant = (manifests[0].get("kernel_variant", "batched")
+                   if manifests else "batched")
         snapshot = {"phases": run_end.get("phases", {}),
                     "counters": run_end.get("counters", {})}
         print(f"run end: {run_end.get('steps')} steps in "
               f"{run_end.get('wall_s', 0.0):.2f} s wall")
         for line in profile_lines(snapshot, order=order,
-                                  wall_s=run_end.get("wall_s"), node=node):
+                                  wall_s=run_end.get("wall_s"), node=node,
+                                  variant=variant):
             print(line)
     else:
         print("no run_end record (run still in progress or killed)")

@@ -162,10 +162,16 @@ class Scheduler:
         Iown = np.zeros((ne, nb, 9))
         Ibuf = np.zeros((ne, nb, 9))
         for c in range(lts.n_clusters):
-            mask = lts.masks[c]
-            Iown[mask] = taylor_integrate(derivs[mask], 0.0, dts[c])
+            idx = lts.idx[c]
+            Iown[idx] = taylor_integrate(derivs[idx], 0.0, dts[c])
 
-        state = (plan, dt_min, dts, derivs, Iown, Ibuf, t0)
+        # the window-assembly buffer is allocated once for the whole run:
+        # each micro-step overwrites exactly the rows its corrector reads
+        # (the active cluster plus every consumed neighbor — LTS adjacency
+        # guarantees the consume list covers all faces with an active side),
+        # so stale rows from earlier micro-steps are never observed
+        I = np.zeros((ne, nb, 9))
+        state = (plan, dt_min, dts, derivs, Iown, Ibuf, I, t0)
         for i in range(plan.n_micro):
             c = int(plan.cluster[i])
             # single dispatch site: span emission guarded internally (the
@@ -196,38 +202,39 @@ class Scheduler:
 
     def _exec_micro(self, i: int, c: int, state) -> None:
         """One cluster micro-step: assemble windows, correct, publish."""
-        plan, dt_min, dts, derivs, Iown, Ibuf, t0 = state
+        plan, dt_min, dts, derivs, Iown, Ibuf, I, t0 = state
         lts = self.lts
         solver = self.solver
         mask = lts.masks[c]
+        idx = lts.idx[c]
         t_a = int(plan.t_int[i]) * dt_min
 
-        # assemble per-element time-integrated data for this window
-        I = np.zeros((lts.op.n_elements, lts.op.nbasis, 9))
-        I[mask] = Iown[mask]
+        # assemble per-element time-integrated data for this window (into
+        # the run-lifetime buffer; see _run_lts for why reuse is exact)
+        I[idx] = Iown[idx]
         for cn, mode, off_int in plan.consumes(i):
-            mn = lts.masks[int(cn)]
+            nidx = lts.idx[int(cn)]
             if mode == CONSUME_TAYLOR:
                 # a coarser neighbor predicted earlier with a longer
                 # window; integrate its Taylor expansion over ours
                 off = int(off_int) * dt_min
-                I[mn] = taylor_integrate(derivs[mn], off, off + dts[c])
+                I[nidx] = taylor_integrate(derivs[nidx], off, off + dts[c])
             else:
                 # a finer neighbor accumulated its completed windows
-                I[mn] = Ibuf[mn]
+                I[nidx] = Ibuf[nidx]
 
         out = self.backend.corrector(
             I, derivs, dts[c], t0=t0 + t_a, active=mask,
             gravity_mask=lts.gravity_masks[c],
             motion_mask=None if lts.motion_masks is None else lts.motion_masks[c],
         )
-        solver.Q[mask] += out[mask]
+        solver.Q[idx] += out[idx]
 
         # the just-completed window becomes available to coarser neighbors
-        Ibuf[mask] += Iown[mask]
+        Ibuf[idx] += Iown[idx]
         # buffers of finer neighbors covering this window were consumed
         for cn in plan.clears(i):
-            Ibuf[lts.masks[int(cn)]] = 0.0
+            Ibuf[lts.idx[int(cn)]] = 0.0
 
         # next predictor for this cluster (compiled flag: skipped when the
         # run is over for it)

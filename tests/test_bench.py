@@ -195,6 +195,38 @@ class TestBenchCompare:
         assert mod.main([path, "--check"]) == 0
         assert "0 comparable baseline" in capsys.readouterr().out
 
+    def test_kernel_variants_never_compared(self, tmp_path, capsys):
+        """A variant switch starts a fresh trajectory: a fused record 10x
+        faster than a batched history must not read as improvement — and a
+        batched record after fused history must not read as regression."""
+        mod = _load_compare_tool()
+        batched = [_synthetic_record(seconds=1.0, kernel_variant="batched")
+                   for _ in range(5)]
+        fused = _synthetic_record(seconds=0.1, kernel_variant="fused")
+        path = self._write(tmp_path, self._history(*batched, fused))
+        assert mod.main([path, "--check"]) == 0
+        assert "0 comparable baseline" in capsys.readouterr().out
+
+        # ...and the mirror case: slow batched after a fast fused history
+        fused_hist = [_synthetic_record(seconds=0.1, kernel_variant="fused")
+                      for _ in range(5)]
+        slow = _synthetic_record(seconds=1.0, kernel_variant="batched")
+        path = self._write(tmp_path, self._history(*fused_hist, slow))
+        assert mod.main([path, "--check"]) == 0
+        assert "0 comparable baseline" in capsys.readouterr().out
+
+    def test_pre_variant_records_compare_as_batched(self, tmp_path, capsys):
+        """Records written before the kernel_variant field existed ran the
+        then-only batched path and stay comparable to explicit batched."""
+        mod = _load_compare_tool()
+        legacy = [_synthetic_record(seconds=1.0) for _ in range(3)]
+        for rec in legacy:
+            assert "kernel_variant" not in rec
+        new = _synthetic_record(seconds=1.05, kernel_variant="batched")
+        path = self._write(tmp_path, self._history(*legacy, new))
+        assert mod.main([path, "--check"]) == 0
+        assert "3 comparable baseline" in capsys.readouterr().out
+
     def test_roofline_violation_always_fails(self, tmp_path, capsys):
         mod = _load_compare_tool()
         impossible = _synthetic_record(gflops=50.0, model_gflops=20.0)

@@ -220,7 +220,7 @@ class TestCheckpointRoundTrip:
 # ---------------------------------------------------------------------------
 class TestBackendSelection:
     def test_available(self):
-        assert available_backends() == ("serial", "partitioned")
+        assert available_backends() == ("serial", "partitioned", "jit")
 
     def test_make_backend_names(self):
         assert isinstance(make_backend("serial"), SerialBackend)

@@ -45,10 +45,18 @@ _ROOFLINE_SLACK = 1.05
 
 
 def comparable_key(record: dict) -> tuple:
-    """Records compare only within identical problem + host shape."""
+    """Records compare only within identical problem + host shape.
+
+    The kernel variant is part of the key: fused/jit records time a
+    different contraction chain with different FLOP accounting, so a
+    variant switch starts a fresh trajectory instead of reading as a
+    speedup/regression against the other variant's history.  Records
+    written before the field existed ran the then-only batched path.
+    """
     host = record.get("host", {})
     return (host.get("context"), host.get("cpu_count"), record.get("order"),
-            record.get("n_elements"), record.get("fast"))
+            record.get("n_elements"), record.get("fast"),
+            record.get("kernel_variant", "batched"))
 
 
 def compare(doc: dict, threshold: float = 0.25, min_history: int = 3):
@@ -69,6 +77,7 @@ def compare(doc: dict, threshold: float = 0.25, min_history: int = 3):
     lines.append(
         f"newest: git {newest.get('git_rev', 'unknown')[:12]} | "
         f"{newest.get('n_elements')} elements, order {newest.get('order')}, "
+        f"kernels={newest.get('kernel_variant', 'batched')}, "
         f"fast={newest.get('fast')} | {len(baseline)} comparable baseline "
         f"record(s)"
     )

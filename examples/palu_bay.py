@@ -50,7 +50,8 @@ def main(t_end: float = 4.0, checkpoint_every: float | None = None,
          backend: str = "serial", workers: int | None = None,
          profile: bool = False, trace: str | None = None,
          log_json: str | None = None,
-         heartbeat_every: int | None = None):
+         heartbeat_every: int | None = None,
+         metrics: bool = False):
     cfg = PaluConfig()
     solver, fault = build_coupled(cfg, backend=backend, workers=workers)
     print(f"mesh: {solver.mesh.n_elements} elements "
@@ -63,7 +64,7 @@ def main(t_end: float = 4.0, checkpoint_every: float | None = None,
 
     obs = ObsSession(
         profile=profile, trace=trace, log_json=log_json,
-        heartbeat_every=heartbeat_every,
+        heartbeat_every=heartbeat_every, metrics=metrics,
         config={"command": "palu", "t_end": t_end, "backend": backend},
     )
     runner = None

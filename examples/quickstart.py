@@ -33,7 +33,8 @@ def main(t_end: float = 2.5, checkpoint_every: float | None = None,
          backend: str = "serial", workers: int | None = None,
          profile: bool = False, trace: str | None = None,
          log_json: str | None = None,
-         heartbeat_every: int | None = None):
+         heartbeat_every: int | None = None,
+         metrics: bool = False):
     # --- domain: 4 x 4 km, 1.5 km of crust under a 500 m ocean ----------
     crust = elastic(rho=2700.0, cp=4000.0, cs=2300.0)
     ocean = acoustic(rho=1000.0, cp=1500.0)
@@ -72,7 +73,7 @@ def main(t_end: float = 2.5, checkpoint_every: float | None = None,
 
     obs = ObsSession(
         profile=profile, trace=trace, log_json=log_json,
-        heartbeat_every=heartbeat_every,
+        heartbeat_every=heartbeat_every, metrics=metrics,
         config={"command": "quickstart", "t_end": t_end, "backend": backend},
     )
 

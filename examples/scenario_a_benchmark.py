@@ -37,7 +37,8 @@ def main(t_end: float = 6.0, n_transect: int = 41,
          backend: str = "serial", workers: int | None = None,
          profile: bool = False, trace: str | None = None,
          log_json: str | None = None,
-         heartbeat_every: int | None = None):
+         heartbeat_every: int | None = None,
+         metrics: bool = False):
     cfg = ScenarioAConfig()
 
     # --- fully coupled run ----------------------------------------------
@@ -51,7 +52,7 @@ def main(t_end: float = 6.0, n_transect: int = 41,
           f"(update reduction {lts.statistics()['speedup']:.2f}x)")
     obs = ObsSession(
         profile=profile, trace=trace, log_json=log_json,
-        heartbeat_every=heartbeat_every,
+        heartbeat_every=heartbeat_every, metrics=metrics,
         config={"command": "scenario-a", "t_end": t_end, "backend": backend},
     )
     if checkpoint_every or checkpoint_dir or resume:

@@ -41,7 +41,15 @@ JSON), ``--log-json PATH`` (structured JSONL run records) and
     Summarize a ``--trace`` export: wall span, per-lane busy/idle,
     hottest span names, critical-path estimate and halo-gather vs
     compute overlap.  ``--check`` validates the Chrome-trace schema
-    first and exits non-zero on errors.
+    first and exits non-zero on errors.  With ``--merge ENSEMBLE_DIR``
+    the per-member worker traces of an ensemble run are stitched into
+    one wall-clock-aligned Perfetto timeline (one process lane per
+    member, supervisor events as instant markers) written to ``--out``.
+``obs-status RUN_DIR [--watch N]``
+    Render the fleet status table of an ensemble run directory (member,
+    state, step, simulated time, wall rate, energy drift, retries,
+    heartbeat staleness) from its on-disk artifacts; ``--watch N``
+    re-renders every N seconds until interrupted.
 ``bench [--out PATH] [--node NAME]``
     Run the standardized kernel benchmark battery and append a
     schema-versioned record to ``BENCH_<host-context>.json`` (compare
@@ -126,9 +134,22 @@ def main(argv=None) -> int:
     p_r.add_argument("--check", action="store_true",
                      help="validate every record against the schema first")
     p_t = sub.add_parser("obs-trace", help="summarize a Chrome-trace/Perfetto export")
-    p_t.add_argument("trace", help="path to a --trace JSON export")
+    p_t.add_argument("trace", help="path to a --trace JSON export, or an "
+                     "ensemble run dir with --merge")
     p_t.add_argument("--check", action="store_true",
                      help="validate the Chrome-trace schema first")
+    p_t.add_argument("--merge", action="store_true",
+                     help="treat the positional as an ensemble run dir and "
+                     "merge per-member traces into one timeline")
+    p_t.add_argument("--out", default=None, metavar="PATH",
+                     help="merged trace output path "
+                     "(default: <dir>/ensemble.trace.json)")
+    p_st = sub.add_parser("obs-status",
+                          help="fleet status table of an ensemble run dir")
+    p_st.add_argument("run_dir", help="ensemble out-dir "
+                      "(holds ensemble.jsonl and per-member dirs)")
+    p_st.add_argument("--watch", type=float, default=None, metavar="N",
+                      help="re-render every N seconds until interrupted")
     p_b = sub.add_parser("bench", help="run the kernel benchmark battery")
     p_b.add_argument("--out", default=None, metavar="PATH",
                      help="history file (default: BENCH_<host-context>.json at repo root)")
@@ -168,6 +189,14 @@ def main(argv=None) -> int:
     p_e.add_argument("--backend", default="serial",
                      help="execution backend inside each member "
                      "(default serial)")
+    p_e.add_argument("--no-metrics", action="store_true",
+                     help="disable the per-member metric registry (on by "
+                     "default: heartbeats carry snapshots, the supervisor "
+                     "exports fleet.prom/fleet.jsonl)")
+    p_e.add_argument("--trace", action="store_true",
+                     help="record a span timeline per member "
+                     "(<member>/trace.json; merge with "
+                     "`obs-trace --merge DIR`)")
     p_s = sub.add_parser("sched-plan",
                          help="compile and print a clustered step plan")
     p_s.add_argument("n_clusters", type=int, help="number of LTS clusters")
@@ -196,9 +225,40 @@ def main(argv=None) -> int:
             return 2
         return summarize_runlog(args.runlog, node=args.node, check=args.check)
     if args.command == "obs-trace":
-        from repro.obs.trace import summarize_trace_file
+        from repro.obs.trace import merge_chrome_traces, summarize_trace_file
 
-        return summarize_trace_file(args.trace, check=args.check)
+        path = args.trace
+        if args.merge:
+            import os
+
+            out = args.out or os.path.join(path, "ensemble.trace.json")
+            try:
+                doc = merge_chrome_traces(path, out_path=out)
+            except FileNotFoundError as exc:
+                print(f"obs-trace: {exc}")
+                return 2
+            meta = doc["otherData"]
+            print(f"merged {len(meta['members'])} member trace(s), "
+                  f"{meta['spans']} span(s), "
+                  f"{meta['supervisor_events']} supervisor event(s) "
+                  f"-> {out}")
+            path = out
+        return summarize_trace_file(path, check=args.check)
+    if args.command == "obs-status":
+        import time as _time
+
+        from repro.obs.fleet import status_lines
+
+        while True:
+            for line in status_lines(args.run_dir):
+                print(line)
+            if args.watch is None:
+                return 0
+            try:
+                _time.sleep(max(args.watch, 0.1))
+            except KeyboardInterrupt:
+                return 0
+            print()
     if args.command == "bench":
         from repro.obs.bench import battery_lines, run_battery
 
@@ -232,6 +292,8 @@ def main(argv=None) -> int:
                 t_end=args.t_end,
                 checkpoint_every=args.checkpoint_every,
                 backend=args.backend,
+                metrics=not args.no_metrics,
+                trace=args.trace,
             )
             for k in range(args.members)
         ]
@@ -248,6 +310,10 @@ def main(argv=None) -> int:
             print(line)
         print(f"artifacts: {args.out}/ensemble.json, "
               f"{args.out}/ensemble.jsonl, per-member dirs")
+        if not args.no_metrics:
+            print(f"fleet metrics: {args.out}/fleet.prom, "
+                  f"{args.out}/fleet.jsonl "
+                  f"(live view: python -m repro obs-status {args.out})")
         # graceful degradation is still a degraded run: signal it
         return 3 if result.degraded else 0
     if args.command == "sched-plan":

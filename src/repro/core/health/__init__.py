@@ -36,6 +36,8 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from ...obs.metrics import get_metrics
+
 __all__ = [
     "HealthReport",
     "HealthError",
@@ -269,7 +271,32 @@ class Watchdog:
             # its message would only duplicate the state failure
             if report.ok:
                 report.checks["energy"] = self._check_energy()
+        met = get_metrics()
+        if met.enabled:
+            self._emit_metrics(met, dt, report)
         return report
+
+    def _emit_metrics(self, met, dt: float | None,
+                      report: HealthReport) -> None:
+        """Physics gauges of this sweep — the watchdog invariants as
+        observable quantities (Lyapunov energy budget, CFL margin of
+        Eq. 27, peak on-fault slip rate)."""
+        if self._e_prev is not None:
+            met.set_gauge("health/energy_total", float(self._e_prev))
+            if self._e_max > 0.0:
+                met.set_gauge("health/energy_drift_ratio",
+                              float(self._e_prev / self._e_max) - 1.0)
+        if dt is not None and self.check_cfl:
+            admissible = float(self.solver.dt_elem.min())
+            if admissible > 0.0:
+                met.set_gauge("health/cfl_margin", 1.0 - dt / admissible)
+        fault = self.solver.fault
+        if fault is not None:
+            rate = np.asarray(fault.slip_rate)
+            if rate.size and np.isfinite(rate).all():
+                met.set_gauge("health/max_slip_rate", float(np.abs(rate).max()))
+        if not report.ok:
+            met.inc("health/check_failures")
 
     def ensure(self, dt: float | None = None, step: int = 0) -> HealthReport:
         """Like :meth:`check` but raises :class:`HealthError` on failure."""

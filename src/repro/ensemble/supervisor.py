@@ -40,6 +40,7 @@ import queue as queue_mod
 import time
 
 from ..core.health.inject import InjectedHang, InjectedWorkerDeath
+from ..obs.fleet import FleetAggregator
 from ..obs.runlog import RunLog
 from .result import EnsembleResult, MemberResult
 from .retry import RetryPolicy
@@ -51,6 +52,9 @@ __all__ = ["Supervisor"]
 ENSEMBLE_LOG = "ensemble.jsonl"
 ENSEMBLE_RESULT = "ensemble.json"
 
+#: seconds between periodic fleet.prom/fleet.jsonl exports mid-run
+METRICS_EXPORT_EVERY = 2.0
+
 
 class _Member:
     """Supervision bookkeeping for one member (parent-side only)."""
@@ -58,7 +62,7 @@ class _Member:
     __slots__ = (
         "spec", "paths", "proc", "attempts", "strikes", "history",
         "next_start", "resume", "dt_scale", "last_beat", "first_wall",
-        "last_error", "result",
+        "last_error", "result", "last_metrics",
     )
 
     def __init__(self, spec: MemberSpec, out_dir: str):
@@ -75,6 +79,7 @@ class _Member:
         self.first_wall = None
         self.last_error = None
         self.result: MemberResult | None = None
+        self.last_metrics: dict | None = None  # compact snapshot off the wire
 
     @property
     def done(self) -> bool:
@@ -138,6 +143,11 @@ class Supervisor:
         self.verbose = verbose
         self._runlog = runlog
         self._owns_runlog = runlog is None
+        #: fleet-level metric aggregation (fed by heartbeat snapshots and
+        #: result files; exports fleet.prom + fleet.jsonl under out_dir)
+        self.aggregator = FleetAggregator(out_dir=out_dir)
+        self._metrics_on = any(getattr(s, "metrics", False) for s in specs)
+        self._last_export = 0.0
 
     # ------------------------------------------------------------------
     def run(self) -> EnsembleResult:
@@ -166,6 +176,7 @@ class Supervisor:
             log.emit("ensemble_summary", members=len(members), ok=c["ok"],
                      recovered=c["recovered"], quarantined=c["quarantined"],
                      wall_s=wall_s)
+            self._export_metrics(force=True)
             if self._owns_runlog:
                 log.close()
         result.save(os.path.join(self.out_dir, ENSEMBLE_RESULT))
@@ -217,6 +228,7 @@ class Supervisor:
                         continue
                     if not m.done:  # retry scheduled: back into the pool
                         pending.append(m)
+                self._export_metrics()
                 if pending and not active:
                     # everyone is backing off; sleep until the next gate
                     gate = min(m.next_start for m in pending)
@@ -251,8 +263,10 @@ class Supervisor:
             return False
         m.proc = proc
         m.last_beat = time.monotonic()
+        self.aggregator.update(m.spec.member_id, None, state="running")
         log.emit("member_start", member=m.spec.member_id, attempt=m.attempts,
-                 scenario=m.spec.builder, pid=proc.pid)
+                 scenario=m.spec.builder, pid=proc.pid,
+                 metrics=self._brief(m))
         if self.verbose:
             print(f"[ensemble] {m.spec.member_id}: attempt {m.attempts} "
                   f"(pid {proc.pid}, resume={m.resume}, "
@@ -270,6 +284,12 @@ class Supervisor:
             if m is None:
                 continue
             m.last_beat = time.monotonic()
+            snap = msg.get("metrics")
+            if isinstance(snap, dict):
+                m.last_metrics = snap
+            self.aggregator.update(m.spec.member_id, snap
+                                   if isinstance(snap, dict) else None,
+                                   wall=msg.get("wall"))
             if msg.get("kind") == "error":
                 m.last_error = msg.get("error")
 
@@ -293,7 +313,45 @@ class Supervisor:
                 reason += f" ({m.last_error})"
             self._strike(m, log, reason)
 
+    # -- fleet metrics -------------------------------------------------
+    def _brief(self, m: _Member) -> dict:
+        """The member's last metrics digest (step/sim_t/energy drift) for
+        embedding in supervisor run-log events — a quarantine record must
+        be diagnosable from the JSONL log alone."""
+        return self.aggregator.member_brief(m.spec.member_id)
+
+    def _export_metrics(self, force: bool = False) -> None:
+        """Write fleet.prom + fleet.jsonl (rate-limited unless forced)."""
+        if not self._metrics_on or not self.aggregator.members:
+            return
+        now = time.monotonic()
+        if not force and now - self._last_export < METRICS_EXPORT_EVERY:
+            return
+        self._last_export = now
+        try:
+            self.aggregator.export()
+        except OSError:
+            pass  # an unwritable exporter must never take down the fleet
+
     # -- degraded in-process mode --------------------------------------
+    class _InProcessBeats:
+        """Queue shim for degraded mode: the worker's ``tell()`` messages
+        feed the aggregator directly, so supervisor events carry metric
+        briefs and ``fleet.prom`` stays live without a process boundary."""
+
+        def __init__(self, supervisor, member):
+            self._sup = supervisor
+            self._m = member
+
+        def put_nowait(self, msg: dict) -> None:
+            snap = msg.get("metrics")
+            if isinstance(snap, dict):
+                self._m.last_metrics = snap
+            self._sup.aggregator.update(
+                self._m.spec.member_id,
+                snap if isinstance(snap, dict) else None,
+                wall=msg.get("wall"))
+
     def _run_in_process(self, members, log) -> None:
         for m in members:
             while not m.done:
@@ -301,21 +359,25 @@ class Supervisor:
                 if gate > 0:
                     time.sleep(gate)
                 self._attempt_in_process(m, log)
+                self._export_metrics()
 
     def _attempt_in_process(self, m: _Member, log) -> None:
         m.attempts += 1
         if m.first_wall is None:
             m.first_wall = time.perf_counter()
+        self.aggregator.update(m.spec.member_id, None, state="running")
         log.emit("member_start", member=m.spec.member_id, attempt=m.attempts,
-                 scenario=m.spec.builder, pid=os.getpid())
+                 scenario=m.spec.builder, pid=os.getpid(),
+                 metrics=self._brief(m))
         # each attempt gets a fresh spec copy, exactly as a spawned child
         # would: the injector's per-process `fired` counters must not leak
         # across incarnations (a persistent fault re-fires every attempt)
         spec = copy.deepcopy(m.spec)
         try:
             result = run_member(
-                spec, m.paths["dir"], queue=None, attempt=m.attempts,
-                resume=m.resume, dt_scale=m.dt_scale, in_process=True,
+                spec, m.paths["dir"], queue=self._InProcessBeats(self, m),
+                attempt=m.attempts, resume=m.resume, dt_scale=m.dt_scale,
+                in_process=True,
             )
         except InjectedWorkerDeath as exc:
             self._strike(m, log, f"killed (simulated): {exc}")
@@ -347,10 +409,11 @@ class Supervisor:
             m.resume = decision.resume
             m.dt_scale = decision.dt_scale
             m.next_start = time.monotonic() + decision.delay_s
+            self.aggregator.update(m.spec.member_id, None, state="retrying")
             log.emit("member_retry", member=m.spec.member_id,
                      attempt=m.attempts, reason=reason,
                      delay_s=decision.delay_s, resume=decision.resume,
-                     dt_scale=decision.dt_scale)
+                     dt_scale=decision.dt_scale, metrics=self._brief(m))
             if self.verbose:
                 print(f"[ensemble] {m.spec.member_id}: {reason} — retry "
                       f"{m.strikes}/{self.retry.max_retries} in "
@@ -366,11 +429,14 @@ class Supervisor:
                 attempts=m.attempts, wall_s=wall, dt_scale=m.dt_scale,
                 history=m.history, diagnosis=diagnosis, paths=m.paths,
             )
+            self.aggregator.update(m.spec.member_id, None,
+                                   state="quarantined")
             log.emit("member_quarantined", member=m.spec.member_id,
                      attempts=m.attempts, diagnosis=diagnosis,
-                     history=m.history)
+                     history=m.history, metrics=self._brief(m))
             log.emit("member_end", member=m.spec.member_id,
-                     status="quarantined", attempts=m.attempts, wall_s=wall)
+                     status="quarantined", attempts=m.attempts, wall_s=wall,
+                     metrics=self._brief(m))
             if self.verbose:
                 print(f"[ensemble] {m.spec.member_id}: {diagnosis}")
 
@@ -383,8 +449,16 @@ class Supervisor:
             digest=result.get("digest"), summary=result.get("summary", {}),
             history=m.history, paths=m.paths,
         )
+        # the result file carries the member's final compact snapshot —
+        # authoritative over whatever heartbeat arrived last
+        snap = result.get("metrics")
+        if isinstance(snap, dict):
+            m.last_metrics = snap
+        self.aggregator.update(m.spec.member_id,
+                               snap if isinstance(snap, dict) else None,
+                               state=status)
         log.emit("member_end", member=m.spec.member_id, status=status,
-                 attempts=m.attempts, wall_s=wall)
+                 attempts=m.attempts, wall_s=wall, metrics=self._brief(m))
         if self.verbose:
             print(f"[ensemble] {m.spec.member_id}: {status} after "
                   f"{m.attempts} attempt(s) in {wall:.2f}s")

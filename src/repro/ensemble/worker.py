@@ -32,6 +32,7 @@ import numpy as np
 from ..core.health import SimulationDiverged
 from ..core.resilience import ResilientRunner
 from ..io.checkpoint import capture_state
+from ..obs.metrics import get_metrics
 from ..obs.runlog import RunLog
 from ..sched import HookBus
 from .spec import MemberSpec
@@ -40,6 +41,7 @@ __all__ = [
     "RESULT_NAME",
     "RUNLOG_NAME",
     "CKPT_DIRNAME",
+    "TRACE_NAME",
     "member_paths",
     "state_digest",
     "run_member",
@@ -50,6 +52,7 @@ __all__ = [
 RESULT_NAME = "result.json"
 RUNLOG_NAME = "run.jsonl"
 CKPT_DIRNAME = "ckpt"
+TRACE_NAME = "trace.json"
 
 #: keys a result file must carry to count as a valid attempt outcome
 REQUIRED_RESULT_KEYS = (
@@ -65,6 +68,7 @@ def member_paths(out_dir: str, member_id: str) -> dict:
         "result": os.path.join(mdir, RESULT_NAME),
         "runlog": os.path.join(mdir, RUNLOG_NAME),
         "ckpt_dir": os.path.join(mdir, CKPT_DIRNAME),
+        "trace": os.path.join(mdir, TRACE_NAME),
     }
 
 
@@ -103,13 +107,50 @@ def run_member(
     (:class:`~repro.core.health.inject.InjectedWorkerDeath` /
     :class:`~repro.core.health.inject.InjectedHang`) instead of killing
     or stalling the driver itself.
+
+    With ``spec.metrics`` (the default) the member enables the typed
+    metric registry for the attempt: compact snapshots ride on every
+    heartbeat queue message, land as durable ``metrics`` run-log records,
+    and the final snapshot is stored in the result file.  With
+    ``spec.trace`` the member records a span timeline and exports
+    ``trace.json`` (wall-clock anchored, so ``obs-trace --merge`` can
+    align it with its siblings).  Both registries are process-global, so
+    they are reset per attempt and disabled on the way out — degraded
+    in-process mode runs members sequentially in one interpreter and must
+    not leak one member's metrics into the next.
     """
+    met = get_metrics()
+    tel = None
+    if spec.metrics:
+        met.reset()
+        met.enable()
+    if spec.trace:
+        from ..obs.telemetry import get_telemetry
+
+        tel = get_telemetry()
+        tel.reset()
+        tel.enable(trace=True)
+    try:
+        return _run_member_attempt(
+            spec, member_dir, queue, attempt, resume, dt_scale, in_process,
+            met if spec.metrics else None, tel,
+        )
+    finally:
+        if spec.metrics:
+            met.disable()
+        if tel is not None:
+            tel.disable()
+
+
+def _run_member_attempt(spec, member_dir, queue, attempt, resume, dt_scale,
+                        in_process, met, tel) -> dict:
     os.makedirs(member_dir, exist_ok=True)
     paths = {
         "dir": member_dir,
         "result": os.path.join(member_dir, RESULT_NAME),
         "runlog": os.path.join(member_dir, RUNLOG_NAME),
         "ckpt_dir": os.path.join(member_dir, CKPT_DIRNAME),
+        "trace": os.path.join(member_dir, TRACE_NAME),
     }
     wall0 = time.perf_counter()
     pid = os.getpid()
@@ -177,7 +218,14 @@ def run_member(
         d_wall = max(now - beat_state["wall"], 1e-9)
         rate = (runner.step_count - beat_state["step"]) / d_wall
         beat_state["wall"], beat_state["step"] = now, runner.step_count
-        tell("heartbeat", step=runner.step_count, sim_t=s.t)
+        if met is not None:
+            snap = met.compact()
+            tell("heartbeat", step=runner.step_count, sim_t=s.t,
+                 metrics=snap)
+            runlog.emit("metrics", step=runner.step_count, sim_t=float(s.t),
+                        metrics=snap)
+        else:
+            tell("heartbeat", step=runner.step_count, sim_t=s.t)
         runlog.emit("heartbeat", step=runner.step_count, sim_t=s.t,
                     dt=solver.dt * runner.dt_scale,
                     energy=float(solver.energy()), wall_rate=rate)
@@ -206,13 +254,32 @@ def run_member(
         "resumed_from": resumed_from,
         "diverged": diverged,
         "summary": handle.summarize(solver) if handle.summarize else {},
+        "metrics": met.compact() if met is not None else None,
         "paths": paths,
     }
+    if tel is not None:
+        from ..obs.trace import export_chrome_trace
+
+        try:
+            export_chrome_trace(
+                paths["trace"], tel.trace_snapshot(),
+                metadata={"member": spec.member_id, "attempt": attempt},
+            )
+        except OSError:
+            pass  # a failed trace export must not fail the member
     _publish_result(paths["result"], result, spec, attempt)
+    if met is not None:
+        # final snapshot into the durable log: the last on-disk metrics
+        # record agrees exactly with what the supervisor aggregates
+        runlog.emit("metrics", step=runner.step_count, sim_t=float(solver.t),
+                    metrics=result["metrics"])
     runlog.emit("run_end", steps=runner.step_count, wall_s=wall_s,
                 phases={}, counters={})
     runlog.close()
-    tell("done", status=status, sim_t=solver.t)
+    if met is not None:
+        tell("done", status=status, sim_t=solver.t, metrics=result["metrics"])
+    else:
+        tell("done", status=status, sim_t=solver.t)
     return result
 
 

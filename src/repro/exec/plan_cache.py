@@ -36,6 +36,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from ..obs.metrics import get_metrics
 from ..obs.telemetry import get_telemetry
 
 __all__ = [
@@ -152,13 +153,18 @@ class PlanCache:
         if not self.enabled:
             with tel.phase(phase):
                 return builder()
+        met = get_metrics()
         plan = self.get(key)
         if plan is not None:
             self.hits += 1
             tel.count("plan_cache/hits")
+            if met.enabled:
+                met.inc("cache/plan_hits")
             return plan
         self.misses += 1
         tel.count("plan_cache/misses")
+        if met.enabled:
+            met.inc("cache/plan_misses")
         with tel.phase(phase):
             plan = builder()
         self.put(key, plan)

@@ -36,6 +36,7 @@ import zlib
 
 import numpy as np
 
+from ..obs.metrics import get_metrics
 from ..obs.telemetry import get_telemetry
 
 __all__ = [
@@ -216,6 +217,7 @@ def _save_checkpoint(path, solver, lts, metadata) -> str:
             np.savez_compressed(f, **arrays)
             f.flush()
             os.fsync(f.fileno())
+            n_bytes = f.tell()
         os.replace(tmp, path)
     except BaseException:
         try:
@@ -223,6 +225,10 @@ def _save_checkpoint(path, solver, lts, metadata) -> str:
         except OSError:
             pass
         raise
+    met = get_metrics()
+    if met.enabled:
+        met.inc("io/checkpoint_writes")
+        met.inc("io/checkpoint_bytes", int(n_bytes))
     return path
 
 
@@ -242,6 +248,9 @@ def load_checkpoint(path: str) -> dict:
         # zlib.error / EOFError: an archive truncated mid-write (kill -9
         # through a non-atomic path); KeyError: a member list torn apart
         raise CheckpointError(f"cannot read checkpoint {path!r}: {exc}") from exc
+    met = get_metrics()
+    if met.enabled:
+        met.inc("io/checkpoint_loads")
     version = int(data.pop("version", -1))
     if version < 1 or version > CHECKPOINT_VERSION:
         raise CheckpointError(

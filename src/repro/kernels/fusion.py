@@ -47,6 +47,9 @@ from functools import lru_cache
 import numpy as np
 
 from ..core.basis import _tet_mode_indices, basis_size, get_reference_element
+from ..obs.metrics import get_metrics
+
+_MET = get_metrics()
 
 __all__ = [
     "ElementKernelPlan",
@@ -232,6 +235,9 @@ def fused_volume_residual(op, I, out, active=None) -> None:
         key = _mask_digest(active)
         cache = op._mask_cache_volume
         hit = cache.get(key)
+        if _MET.enabled:
+            _MET.inc("cache/mask_hits" if hit is not None
+                     else "cache/mask_misses")
         if hit is None:
             idx = np.flatnonzero(active)
             hit = (idx, np.ascontiguousarray(op.starT[idx]))
@@ -248,6 +254,9 @@ def _interior_masked_entries(op, active):
     key = _mask_digest(active)
     cache = op._mask_cache_interior
     entries = cache.get(key)
+    if _MET.enabled:
+        _MET.inc("cache/mask_hits" if entries is not None
+                 else "cache/mask_misses")
     if entries is not None:
         return entries
     entries = []
@@ -308,6 +317,9 @@ def fused_boundary_residual(op, I, out, active=None) -> None:
         key = _mask_digest(active)
         cache = op._mask_cache_boundary
         entries = cache.get(key)
+        if _MET.enabled:
+            _MET.inc("cache/mask_hits" if entries is not None
+                     else "cache/mask_misses")
         if entries is None:
             entries = []
             for grp in op.boundary_groups:

@@ -17,11 +17,27 @@ The measurement layer behind the paper's Sec. 5-6 performance story:
   schema-versioned ``BENCH_<host-context>.json`` trajectory records
   (compared against history and the roofline by
   ``tools/bench_compare.py``);
+* :mod:`repro.obs.metrics` — default-off typed metric registry
+  (counters, gauges, log-bucketed histograms, ring-buffer series) with
+  associative snapshot merging and a Prometheus text exporter — the
+  fleet-observability substrate;
+* :mod:`repro.obs.fleet` — supervisor-side :class:`FleetAggregator`
+  folding member snapshots into fleet series (``fleet.prom`` /
+  ``fleet.jsonl`` exporters) plus the offline ``obs-status`` view;
 * :mod:`repro.obs.session` — :class:`ObsSession` wiring for the CLI's
-  ``--profile`` / ``--trace`` / ``--log-json`` / ``--heartbeat-every``
-  flags.
+  ``--profile`` / ``--trace`` / ``--log-json`` / ``--heartbeat-every`` /
+  ``--metrics`` flags.
 """
 
+from .fleet import FleetAggregator, status_lines, status_rows
+from .metrics import (
+    METRICS_SCHEMA_VERSION,
+    MetricRegistry,
+    get_metrics,
+    merge_snapshots,
+    to_prometheus,
+    validate_prometheus,
+)
 from .runlog import EVENT_FIELDS, SCHEMA_VERSION, RunLog, run_manifest, validate_jsonl, validate_record
 from .session import ObsSession, add_obs_args, obs_kwargs
 from .telemetry import Telemetry, TraceBuffer, get_telemetry, timed
@@ -30,6 +46,7 @@ from .trace import (
     chrome_trace,
     export_chrome_trace,
     load_trace,
+    merge_chrome_traces,
     summarize_trace,
     validate_chrome_trace,
 )
@@ -43,6 +60,7 @@ __all__ = [
     "chrome_trace",
     "export_chrome_trace",
     "load_trace",
+    "merge_chrome_traces",
     "summarize_trace",
     "validate_chrome_trace",
     "RunLog",
@@ -51,6 +69,15 @@ __all__ = [
     "validate_jsonl",
     "EVENT_FIELDS",
     "SCHEMA_VERSION",
+    "METRICS_SCHEMA_VERSION",
+    "MetricRegistry",
+    "get_metrics",
+    "merge_snapshots",
+    "to_prometheus",
+    "validate_prometheus",
+    "FleetAggregator",
+    "status_rows",
+    "status_lines",
     "ObsSession",
     "add_obs_args",
     "obs_kwargs",

@@ -19,7 +19,11 @@ battery of micro-benchmarks over the solver's hot kernels —
   per-micro-step overhead with the physics kernels removed), with the
   one-off plan compile cost recorded alongside;
 * ``lts_macro`` — one full clustered-LTS macro step (every cluster
-  advanced to the next synchronization point).
+  advanced to the next synchronization point);
+* ``metrics_overhead`` — the *disabled* fast path of the fleet-metric
+  registry (:mod:`repro.obs.metrics`): per-call cost of guarded
+  ``inc``/``set_gauge``/``observe`` with the registry off, which locks
+  the <2% per-step instrumentation budget.
 
 Each invocation appends one schema-versioned record to
 ``BENCH_<host-context>.json`` at the repo root — git revision, problem
@@ -59,9 +63,10 @@ __all__ = [
 BENCH_SCHEMA_VERSION = 1
 
 #: the fixed battery, in execution order (``lts_macro`` mutates the
-#: solver state and therefore always runs last)
+#: solver state and therefore always runs last among the solver kernels)
 BATTERY_KERNELS = ("predictor", "corrector", "riemann_setup",
-                   "gravity_ode", "halo_gather", "sched_replay", "lts_macro")
+                   "gravity_ode", "halo_gather", "sched_replay", "lts_macro",
+                   "metrics_overhead")
 
 
 def host_context() -> str:
@@ -280,6 +285,35 @@ def run_battery(out: str | None = None, node: str = "local", order: int = 3,
 
     add("lts_macro", _best_of(lts_macro, repeats), elem_updates=macro_updates)
     benches["lts_macro"]["clusters"] = int(lts.n_clusters)
+
+    # metrics_overhead: the disabled fast path of the fleet-metric
+    # registry — the cost every *un*-instrumented run pays at the guard
+    # sites wired into the scheduler/watchdog/caches.  Timed on a private
+    # registry so an outer --metrics session can't flip the result.
+    from .metrics import MetricRegistry
+
+    met = MetricRegistry()
+    n_calls = 3000
+
+    def metrics_overhead():
+        for _ in range(n_calls):
+            if met.enabled:
+                met.inc("bench/c")
+            if met.enabled:
+                met.set_gauge("bench/g", 1.0)
+            if met.enabled:
+                met.observe("bench/h", 1.0)
+
+    seconds = _best_of(metrics_overhead, repeats)
+    add("metrics_overhead", seconds)
+    benches["metrics_overhead"]["calls"] = 3 * n_calls
+    benches["metrics_overhead"]["seconds_per_call"] = seconds / (3 * n_calls)
+    # fraction of one (fast-path) lts_macro a realistic ~40 guarded call
+    # sites per step would cost — tools/bench_compare.py re-derives this
+    per_step = benches["lts_macro"]["seconds"] / max(
+        1, round(macro_updates / max(1, ne)))
+    benches["metrics_overhead"]["step_fraction"] = (
+        40 * benches["metrics_overhead"]["seconds_per_call"] / per_step)
 
     record = {
         "schema": BENCH_SCHEMA_VERSION,

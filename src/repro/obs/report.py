@@ -260,6 +260,16 @@ def profile_lines(snapshot: dict, order: int | None = None,
 
 
 # ----------------------------------------------------------------------
+def _num(value, spec: str, missing: str = "?") -> str:
+    """Format a maybe-missing numeric record field without crashing."""
+    if not isinstance(value, (int, float)) or isinstance(value, bool):
+        return missing
+    try:
+        return format(value, spec)
+    except (TypeError, ValueError):
+        return missing
+
+
 def summarize_runlog(path: str, node: str = "rome", check: bool = False) -> int:
     """Print a summary of a JSONL run log; returns a process exit code.
 
@@ -312,24 +322,30 @@ def summarize_runlog(path: str, node: str = "rome", check: bool = False) -> int:
         print("no manifest record found")
 
     if heartbeats:
+        # every heartbeat field is optional here: ensemble workers (and
+        # older schema versions) emit records without wall_rate/energy,
+        # and a report must summarize what is there, not crash on what
+        # is not
         last = heartbeats[-1]
-        rates = [h["wall_rate"] for h in heartbeats
+        rates = [h.get("wall_rate") for h in heartbeats
                  if isinstance(h.get("wall_rate"), (int, float))]
-        mean_rate = sum(rates) / len(rates) if rates else float("nan")
-        print(f"heartbeats: {len(heartbeats)} | last step {last.get('step')} "
-              f"at sim t = {last.get('sim_t'):.6g} s | "
-              f"mean rate {mean_rate:.2f} steps/s | "
-              f"last energy {last.get('energy'):.4g} J")
+        mean_rate = sum(rates) / len(rates) if rates else None
+        print(f"heartbeats: {len(heartbeats)} | "
+              f"last step {last.get('step', '?')} "
+              f"at sim t = {_num(last.get('sim_t'), '.6g')} s | "
+              f"mean rate {_num(mean_rate, '.2f')} steps/s | "
+              f"last energy {_num(last.get('energy'), '.4g')} J")
     for rec in recoveries:
-        if rec["event"] == "recovery":
+        if rec.get("event") == "recovery":
             print(f"recovery: rollback at step {rec.get('step')} "
                   f"(attempt {rec.get('attempt')}/{rec.get('max_retries')}, "
                   f"dt scale {rec.get('dt_scale')}, "
-                  f"{rec.get('wall_s', 0.0):.2f} s wall): {rec.get('reason')}")
+                  f"{_num(rec.get('wall_s'), '.2f', '?')} s wall): "
+                  f"{rec.get('reason')}")
         else:
             print(f"DIVERGED at step {rec.get('step')} after "
                   f"{rec.get('attempts')} attempt(s), "
-                  f"{rec.get('wall_s', 0.0):.2f} s wall")
+                  f"{_num(rec.get('wall_s'), '.2f', '?')} s wall")
 
     if run_end is not None:
         order = manifests[0].get("order") if manifests else None
@@ -338,7 +354,7 @@ def summarize_runlog(path: str, node: str = "rome", check: bool = False) -> int:
         snapshot = {"phases": run_end.get("phases", {}),
                     "counters": run_end.get("counters", {})}
         print(f"run end: {run_end.get('steps')} steps in "
-              f"{run_end.get('wall_s', 0.0):.2f} s wall")
+              f"{_num(run_end.get('wall_s'), '.2f', '?')} s wall")
         for line in profile_lines(snapshot, order=order,
                                   wall_s=run_end.get("wall_s"), node=node,
                                   variant=variant):

@@ -27,7 +27,12 @@ Events
     Final record: step totals, wall time, and the full telemetry
     snapshot (phases + counters) when profiling was enabled.
 ``metrics``
-    Free-form measurement payloads (benchmark side-channels).
+    Periodic typed-metric snapshot (:meth:`repro.obs.metrics.
+    MetricRegistry.compact`): the durable twin of the compact snapshot a
+    worker piggybacks on its heartbeat queue messages, so fleet totals
+    can be audited against per-member logs after the fact.  Schema v2
+    made ``step``/``sim_t``/``metrics`` required (v1 had no required
+    fields; nothing emitted the event before v2).
 ``member_start`` / ``member_retry`` / ``member_quarantined`` /
 ``member_end`` / ``ensemble_summary``
     Supervisor-level events of the multi-process ensemble driver
@@ -60,7 +65,8 @@ __all__ = [
 ]
 
 #: Bumped whenever the record envelope or required fields change.
-SCHEMA_VERSION = 1
+#: v2: the ``metrics`` event gained required fields (step, sim_t, metrics).
+SCHEMA_VERSION = 2
 
 #: Required payload fields per event type (beyond the envelope fields
 #: ``event``/``seq``/``wall``/``run_id``, required on every record).
@@ -73,7 +79,7 @@ EVENT_FIELDS: dict[str, tuple] = {
                  "wall_s", "reason"),
     "diverged": ("step", "sim_t", "attempts", "dt_scale", "wall_s"),
     "run_end": ("steps", "wall_s", "phases", "counters"),
-    "metrics": (),
+    "metrics": ("step", "sim_t", "metrics"),
     "member_start": ("member", "attempt", "scenario", "pid"),
     "member_retry": ("member", "attempt", "reason", "delay_s", "resume",
                      "dt_scale"),

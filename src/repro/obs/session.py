@@ -37,6 +37,7 @@ from __future__ import annotations
 
 import time
 
+from .metrics import get_metrics
 from .runlog import RunLog, run_manifest
 from .telemetry import get_telemetry
 
@@ -44,14 +45,22 @@ __all__ = ["ObsSession", "add_obs_args", "obs_kwargs"]
 
 
 class ObsSession:
-    """Run-scoped bundle of telemetry, run log and heartbeat emission."""
+    """Run-scoped bundle of telemetry, run log and heartbeat emission.
+
+    ``metrics=True`` additionally enables the typed fleet-metric registry
+    (:mod:`repro.obs.metrics`) for the run: the scheduler, watchdog and
+    caches populate it, heartbeats persist compact snapshots as
+    ``metrics`` run-log records when logging is on, and ``finish()``
+    disables the registry again.
+    """
 
     def __init__(self, profile: bool = False, log_json: str | None = None,
                  heartbeat_every: int | None = None,
                  config: dict | None = None, node: str = "rome",
-                 trace: str | None = None):
+                 trace: str | None = None, metrics: bool = False):
         self.profile = bool(profile)
         self.trace = trace
+        self.metrics = bool(metrics)
         self.config = dict(config or {})
         self.node = node
         self.runlog = RunLog(log_json) if log_json else None
@@ -67,11 +76,15 @@ class ObsSession:
             tel = get_telemetry()
             tel.reset()
             tel.enable(trace=self.trace is not None)
+        if self.metrics:
+            met = get_metrics()
+            met.reset()
+            met.enable()
 
     @property
     def active(self) -> bool:
         """Whether any observability feature is switched on."""
-        return (self.profile or self.trace is not None
+        return (self.profile or self.trace is not None or self.metrics
                 or self.runlog is not None or self.heartbeat_every > 0)
 
     # ------------------------------------------------------------------
@@ -101,6 +114,11 @@ class ObsSession:
             rate = n / span if span > 0 else 0.0
             energy = float(solver.energy())
             if self.runlog is not None:
+                if self.metrics:
+                    self.runlog.emit(
+                        "metrics", step=self.steps, sim_t=float(solver.t),
+                        metrics=get_metrics().compact(),
+                    )
                 self.runlog.emit(
                     "heartbeat",
                     step=self.steps,
@@ -185,6 +203,8 @@ class ObsSession:
                 self.runlog.close()
             if self._owns_registry:
                 tel.disable()
+            if self.metrics:
+                get_metrics().disable()
 
 
 # ----------------------------------------------------------------------
@@ -206,6 +226,12 @@ def add_obs_args(parser) -> None:
         "--heartbeat-every", type=int, default=None, metavar="N",
         help="heartbeat record period in steps (default 10 when logging)",
     )
+    parser.add_argument(
+        "--metrics", action="store_true",
+        help="enable the typed fleet-metric registry (scheduler, watchdog "
+             "and cache gauges/counters; persisted as 'metrics' run-log "
+             "records when --log-json is on)",
+    )
 
 
 def obs_kwargs(args) -> dict:
@@ -215,4 +241,5 @@ def obs_kwargs(args) -> dict:
         "trace": getattr(args, "trace", None),
         "log_json": getattr(args, "log_json", None),
         "heartbeat_every": getattr(args, "heartbeat_every", None),
+        "metrics": getattr(args, "metrics", False),
     }

@@ -28,6 +28,8 @@ communication/compute-overlap currency of the paper's Fig. 6 discussion).
 from __future__ import annotations
 
 import json
+import os
+import time
 
 __all__ = [
     "TRACE_SCHEMA_VERSION",
@@ -35,6 +37,7 @@ __all__ = [
     "export_chrome_trace",
     "load_trace",
     "validate_chrome_trace",
+    "merge_chrome_traces",
     "summarize_trace",
     "trace_summary_lines",
     "summarize_trace_file",
@@ -118,6 +121,11 @@ def chrome_trace(trace_snapshot: dict, metadata: dict | None = None) -> dict:
             "spans": len(spans),
             "dropped": int(trace_snapshot.get("dropped", 0)),
             "capacity": int(trace_snapshot.get("capacity", 0)),
+            # unix wall time of ts=0 — span clocks are perf_counter, which
+            # is process-local; anchoring to wall time is what lets
+            # merge_chrome_traces align traces from different processes
+            # (only meaningful when exported by the recording process)
+            "t0_unix": time.time() - (time.perf_counter() - t_base),
         },
     }
     if metadata:
@@ -146,6 +154,119 @@ def load_trace(path: str) -> dict:
 
 
 # ----------------------------------------------------------------------
+#: per-member trace filename inside an ensemble member directory
+MEMBER_TRACE_NAME = "trace.json"
+
+
+def merge_chrome_traces(run_dir: str, out_path: str | None = None) -> dict:
+    """Merge per-member worker traces of an ensemble run into one timeline.
+
+    Scans ``<run_dir>/<member>/trace.json`` (exported by workers running
+    with tracing enabled), gives each member its **own process lane**
+    (``pid`` 1..N, labelled with the member id via ``process_name``
+    metadata), and aligns them on wall time using the ``t0_unix`` anchor
+    each export records — so the merged Perfetto view shows what the
+    fleet was actually doing concurrently, not N timelines all starting
+    at zero.  Supervisor events from ``ensemble.jsonl`` (member starts,
+    retries, quarantines) become instant markers (``"ph": "i"``) on a
+    dedicated ``pid 0`` supervisor lane.  Writes the merged document to
+    ``out_path`` when given; returns it either way.
+    """
+    members = []
+    try:
+        entries = sorted(os.listdir(run_dir))
+    except OSError as exc:
+        raise FileNotFoundError(f"not an ensemble run dir: {run_dir}") from exc
+    for entry in entries:
+        path = os.path.join(run_dir, entry, MEMBER_TRACE_NAME)
+        if os.path.isfile(path):
+            members.append((entry, load_trace(path)))
+    if not members:
+        raise FileNotFoundError(
+            f"no member traces ({MEMBER_TRACE_NAME}) under {run_dir} — "
+            "run the ensemble with tracing enabled (--trace)"
+        )
+
+    anchors = {mid: float(doc.get("otherData", {}).get("t0_unix", 0.0))
+               for mid, doc in members}
+    # align on the earliest member; members without an anchor start at 0
+    known = [a for a in anchors.values() if a > 0.0]
+    t0_global = min(known) if known else 0.0
+
+    events: list[dict] = []
+    events.append({"ph": "M", "pid": 0, "tid": 0, "name": "process_name",
+                   "args": {"name": "supervisor"}})
+    events.append({"ph": "M", "pid": 0, "tid": 0, "name": "process_sort_index",
+                   "args": {"sort_index": 0}})
+    spans_total = dropped_total = 0
+    for k, (mid, doc) in enumerate(members, start=1):
+        anchor = anchors[mid]
+        shift_us = (anchor - t0_global) * 1e6 if anchor > 0.0 else 0.0
+        events.append({"ph": "M", "pid": k, "tid": 0, "name": "process_name",
+                       "args": {"name": f"member {mid}"}})
+        events.append({"ph": "M", "pid": k, "tid": 0,
+                       "name": "process_sort_index",
+                       "args": {"sort_index": k}})
+        other = doc.get("otherData", {})
+        spans_total += int(other.get("spans", 0))
+        dropped_total += int(other.get("dropped", 0))
+        for ev in doc.get("traceEvents", []):
+            if not isinstance(ev, dict):
+                continue
+            ev = dict(ev)
+            if ev.get("name") == "process_name" and ev.get("ph") == "M":
+                continue  # replaced by the member lane label above
+            ev["pid"] = k
+            if ev.get("ph") != "M":
+                ev["ts"] = float(ev.get("ts", 0.0)) + shift_us
+            events.append(ev)
+
+    # supervisor instant markers from the ensemble run log (wall-clock
+    # stamped, so they land between the member spans they interleave with)
+    sup_log = os.path.join(run_dir, "ensemble.jsonl")
+    sup_events = 0
+    if os.path.isfile(sup_log):
+        from .fleet import read_jsonl_tolerant
+
+        for rec in read_jsonl_tolerant(sup_log):
+            wall = rec.get("wall")
+            if not isinstance(wall, (int, float)):
+                continue
+            ts = max(0.0, (wall - t0_global) * 1e6) if t0_global else 0.0
+            name = rec.get("event", "event")
+            if rec.get("member"):
+                name = f"{name}:{rec['member']}"
+            ev = {"name": name, "ph": "i", "ts": ts, "pid": 0, "tid": 0,
+                  "s": "p", "cat": "supervisor"}
+            args = {key: rec[key] for key in
+                    ("member", "attempt", "reason", "status", "pid")
+                    if key in rec}
+            if args:
+                ev["args"] = args
+            events.append(ev)
+            sup_events += 1
+
+    doc = {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "schema": TRACE_SCHEMA_VERSION,
+            "merged": True,
+            "members": [mid for mid, _ in members],
+            "spans": spans_total,
+            "dropped": dropped_total,
+            "supervisor_events": sup_events,
+            "t0_unix": t0_global,
+        },
+    }
+    if out_path:
+        with open(out_path, "w", encoding="utf-8") as fh:
+            json.dump(doc, fh)
+            fh.write("\n")
+    return doc
+
+
+# ----------------------------------------------------------------------
 def validate_chrome_trace(doc) -> list[str]:
     """Schema errors of a Chrome-trace document (empty list = valid).
 
@@ -168,7 +289,16 @@ def validate_chrome_trace(doc) -> list[str]:
         if ph == "M":
             continue
         lane = (ev.get("pid"), ev.get("tid"))
-        if ph == "X":
+        if ph == "i":
+            # instant marker (the merged-timeline supervisor events)
+            if "name" not in ev:
+                errors.append(f"event {i}: i event missing 'name'")
+            ts = ev.get("ts")
+            if not isinstance(ts, (int, float)):
+                errors.append(f"event {i}: i event missing numeric ts")
+            elif ts < 0:
+                errors.append(f"event {i}: negative ts {ts}")
+        elif ph == "X":
             for field in ("name", "ts", "dur", "pid", "tid"):
                 if field not in ev:
                     errors.append(f"event {i}: X event missing {field!r}")

@@ -30,7 +30,11 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from ..obs.metrics import get_metrics
+
 __all__ = ["MicroStepEvent", "HookBus"]
+
+_MET = get_metrics()
 
 
 @dataclass(frozen=True)
@@ -96,9 +100,13 @@ class HookBus:
             fn(solver, event)
 
     def sync(self, solver) -> None:
+        if _MET.enabled:
+            _MET.inc("sched/sync_total")
         for fn in self._sync:
             fn(solver)
 
     def segment_end(self, solver) -> None:
+        if _MET.enabled:
+            _MET.inc("sched/segments_total")
         for fn in self._segment:
             fn(solver)

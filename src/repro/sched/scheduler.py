@@ -28,9 +28,12 @@ runs replay the identical plan.
 
 from __future__ import annotations
 
+import time
+
 import numpy as np
 
 from ..core.ader import taylor_integrate
+from ..obs.metrics import get_metrics
 from ..obs.telemetry import get_telemetry
 from .hooks import HookBus, MicroStepEvent
 from .plan import CONSUME_TAYLOR, StepPlan, get_step_plan
@@ -38,6 +41,25 @@ from .plan import CONSUME_TAYLOR, StepPlan, get_step_plan
 __all__ = ["Scheduler", "plan_steps", "TERMINATION_TOL"]
 
 _TEL = get_telemetry()
+_MET = get_metrics()
+
+
+def _pulse_metrics(solver, steps_done: int, state: dict) -> None:
+    """Fleet-metric emission at a synchronization point (guarded upstream).
+
+    ``state`` carries ``{"wall", "steps"}`` across calls within one run so
+    the wall-rate gauge reflects progress *since the previous sync*, not a
+    run-lifetime average.
+    """
+    now = time.perf_counter()
+    n = steps_done - state["steps"]
+    if n > 0:
+        _MET.inc("sched/steps_total", n)
+    _MET.set_gauge("sched/sim_time", float(solver.t))
+    d_wall = now - state["wall"]
+    if d_wall > 0 and n > 0:
+        _MET.set_gauge("sched/wall_rate", n / d_wall)
+    state["wall"], state["steps"] = now, steps_done
 
 #: the integer clock's quantization, in *step units*: spans within this
 #: fraction of a whole number of steps round to it, so a ``t_end`` that is
@@ -117,6 +139,7 @@ class Scheduler:
             return
         # the compiled cadence of GTS: one cluster, every step a sync
         plan = get_step_plan(1, 2, n_steps)
+        met_state = {"wall": time.perf_counter(), "steps": 0}
         k = 0
         while k < plan.n_micro:
             factor = 1.0 if dt_factor is None else float(dt_factor(solver))
@@ -129,6 +152,8 @@ class Scheduler:
                     index=k - 1, cluster=0, t_int=k - 1,
                     dt=float(step_dt), dt_nominal=float(dt_nominal),
                 ))
+            if _MET.enabled:
+                _pulse_metrics(solver, k, met_state)
             hooks.sync(solver)
             if factor != 1.0 and k < plan.n_micro:
                 # the plan assumed uniform steps; a modulated step changes
@@ -172,6 +197,7 @@ class Scheduler:
         # so stale rows from earlier micro-steps are never observed
         I = np.zeros((ne, nb, 9))
         state = (plan, dt_min, dts, derivs, Iown, Ibuf, I, t0)
+        met_state = {"wall": time.perf_counter(), "steps": 0}
         for i in range(plan.n_micro):
             c = int(plan.cluster[i])
             # single dispatch site: span emission guarded internally (the
@@ -197,6 +223,11 @@ class Scheduler:
             sync_at = int(plan.sync_after[i])
             if sync_at >= 0:
                 solver.t = t0 + sync_at * dt_min
+                if _MET.enabled:
+                    _pulse_metrics(solver, i + 1, met_state)
+                    for cc in range(lts.n_clusters):
+                        _MET.set_gauge(f"sched/cluster_updates/c{cc}",
+                                       float(lts.updates[cc]))
                 hooks.sync(solver)
         solver.t = t_end
 

@@ -43,6 +43,11 @@ _MODELED = ("predictor", "corrector")
 #: tolerance on the roofline bound (timer jitter on sub-ms kernels)
 _ROOFLINE_SLACK = 1.05
 
+#: disabled-path instrumentation budget: the metric-registry guard sites
+#: wired into the scheduler/watchdog/caches must cost less than 2% of a
+#: step when the registry is off (repro.obs.metrics guard discipline)
+_METRICS_BUDGET = 0.02
+
 
 def comparable_key(record: dict) -> tuple:
     """Records compare only within identical problem + host shape.
@@ -125,6 +130,21 @@ def compare(doc: dict, threshold: float = 0.25, min_history: int = 3):
             lines.append(f"  roofline {name}: {cell['gflops']:.2f} / "
                          f"{cell['model_gflops']:.2f} GFLOP/s "
                          f"({100 * cell.get('efficiency', 0):.1f}% of model)")
+
+    # instrumentation budget: the disabled metric-registry fast path must
+    # stay inside the guard-discipline budget relative to a real step
+    cell = newest.get("benches", {}).get("metrics_overhead")
+    if cell and "step_fraction" in cell:
+        frac = cell["step_fraction"]
+        if frac > _METRICS_BUDGET:
+            errors.append(
+                f"metrics_overhead: disabled-path guard sites cost "
+                f"{frac:.2%} of a step (> {_METRICS_BUDGET:.0%} budget) — "
+                "the registry fast path regressed"
+            )
+        else:
+            lines.append(f"  metrics budget: disabled guard sites = "
+                         f"{frac:.3%} of a step (< {_METRICS_BUDGET:.0%} ok)")
 
     return lines, regressions, errors, len(baseline)
 

@@ -4,58 +4,205 @@
 Checks every line against the repro.obs schema and optionally enforces
 minimum content requirements (used by CI to assert that a kill/resume
 pair actually produced two manifests and a stream of heartbeats).
+``metrics`` records additionally have their snapshot payload checked
+against the :mod:`repro.obs.metrics` compact-snapshot shape (schema
+version, counter/gauge/histogram structure).
+
+Pointing the tool at an **ensemble out-dir** instead of a file validates
+``ensemble.jsonl`` plus every member's ``run.jsonl`` and reports each
+member's metric staleness — how far behind the fleet's newest record the
+member's last metrics snapshot is.
 
 Exit status: 0 when the log is valid and all requirements hold,
 1 otherwise.
 
 Run:  python tools/check_runlog.py RUN.jsonl [--min-manifests 2] [--require-heartbeat]
+      python tools/check_runlog.py ENSEMBLE_DIR [--require-metrics]
 """
 
 import argparse
+import json
 import os
 import sys
 
 sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
 
 from repro.obs import validate_jsonl  # noqa: E402
+from repro.obs.metrics import METRICS_SCHEMA_VERSION  # noqa: E402
 
 
-def main(argv=None) -> int:
-    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    ap.add_argument("runlog", help="path to the JSONL run log")
-    ap.add_argument("--min-manifests", type=int, default=1,
-                    help="minimum number of manifest events (default 1; "
-                    "a kill/resume pair should have 2)")
-    ap.add_argument("--require-heartbeat", action="store_true",
-                    help="fail unless at least one heartbeat event is present")
-    args = ap.parse_args(argv)
+def check_metrics_payload(snap) -> list[str]:
+    """Structural errors in one compact metrics snapshot (empty = ok)."""
+    errors = []
+    if not isinstance(snap, dict):
+        return [f"metrics payload is {type(snap).__name__}, expected object"]
+    schema = snap.get("schema")
+    if not isinstance(schema, int):
+        errors.append("metrics payload missing integer 'schema'")
+    elif schema > METRICS_SCHEMA_VERSION:
+        # future schema: tolerated (forward compatibility), worth a note
+        errors.append(f"metrics schema {schema} is newer than this tool "
+                      f"({METRICS_SCHEMA_VERSION})")
+    counters = snap.get("counters", {})
+    if not isinstance(counters, dict) or any(
+            not isinstance(v, (int, float)) or isinstance(v, bool)
+            for v in counters.values()):
+        errors.append("metrics 'counters' must map names to numbers")
+    gauges = snap.get("gauges", {})
+    if not isinstance(gauges, dict):
+        errors.append("metrics 'gauges' must be an object")
+    else:
+        for name, cell in gauges.items():
+            if (not isinstance(cell, dict)
+                    or not isinstance(cell.get("value"), (int, float))
+                    or isinstance(cell.get("value"), bool)):
+                errors.append(f"gauge {name!r}: expected {{'value': number}}")
+    hists = snap.get("histograms", {})
+    if not isinstance(hists, dict):
+        errors.append("metrics 'histograms' must be an object")
+    else:
+        for name, cell in hists.items():
+            if not isinstance(cell, dict):
+                errors.append(f"histogram {name!r}: expected object")
+                continue
+            bounds = cell.get("bounds")
+            counts = cell.get("counts")
+            if (not isinstance(bounds, list) or not isinstance(counts, list)
+                    or len(counts) != len(bounds) + 1):
+                errors.append(f"histogram {name!r}: need len(counts) == "
+                              "len(bounds) + 1")
+    return errors
 
-    if not os.path.exists(args.runlog):
-        print(f"check_runlog: {args.runlog}: no such file", file=sys.stderr)
-        return 1
 
-    result = validate_jsonl(args.runlog)
+def check_file(path, min_manifests=0, require_heartbeat=False,
+               label=None) -> tuple[bool, dict]:
+    """Validate one run log; returns (ok, info) and prints errors.
+
+    ``info`` carries the event counts plus the wall stamps of the last
+    metrics record and the last record overall (for staleness).
+    """
+    label = label or path
+    result = validate_jsonl(path)
     ok = True
     for lineno, msg in result["errors"]:
-        print(f"{args.runlog}:{lineno}: {msg}", file=sys.stderr)
+        print(f"{label}:{lineno}: {msg}", file=sys.stderr)
         ok = False
+
+    # second pass: metrics payload structure + wall stamps for staleness
+    last_wall = None
+    last_metrics_wall = None
+    n_metrics = 0
+    with open(path) as f:
+        for lineno, line in enumerate(f, 1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                rec = json.loads(line)
+            except json.JSONDecodeError:
+                continue  # already reported by validate_jsonl
+            if not isinstance(rec, dict):
+                continue
+            wall = rec.get("wall")
+            if isinstance(wall, (int, float)) and not isinstance(wall, bool):
+                last_wall = max(last_wall or wall, wall)
+            if rec.get("event") == "metrics":
+                n_metrics += 1
+                if isinstance(wall, (int, float)):
+                    last_metrics_wall = wall
+                for msg in check_metrics_payload(rec.get("metrics")):
+                    print(f"{label}:{lineno}: {msg}", file=sys.stderr)
+                    ok = False
 
     events = result["events"]
     n_manifests = events.get("manifest", 0)
-    if n_manifests < args.min_manifests:
-        print(f"check_runlog: {n_manifests} manifest event(s), "
-              f"need >= {args.min_manifests}", file=sys.stderr)
+    if n_manifests < min_manifests:
+        print(f"check_runlog: {label}: {n_manifests} manifest event(s), "
+              f"need >= {min_manifests}", file=sys.stderr)
         ok = False
-    if args.require_heartbeat and events.get("heartbeat", 0) < 1:
-        print("check_runlog: no heartbeat events", file=sys.stderr)
+    if require_heartbeat and events.get("heartbeat", 0) < 1:
+        print(f"check_runlog: {label}: no heartbeat events", file=sys.stderr)
         ok = False
 
     summary = ", ".join(f"{k}={v}" for k, v in sorted(events.items()))
     if result.get("truncated_tail"):
         summary += ", truncated_tail"
     status = "OK" if ok else "FAIL"
-    print(f"check_runlog: {args.runlog}: {result['records']} record(s) "
+    print(f"check_runlog: {label}: {result['records']} record(s) "
           f"[{summary}] -> {status}")
+    return ok, {"events": events, "last_wall": last_wall,
+                "last_metrics_wall": last_metrics_wall,
+                "n_metrics": n_metrics}
+
+
+def check_ensemble_dir(run_dir, require_metrics=False) -> bool:
+    """Validate an ensemble out-dir: supervisor log + member logs +
+    per-member metric staleness."""
+    ok = True
+    sup = os.path.join(run_dir, "ensemble.jsonl")
+    if os.path.exists(sup):
+        sup_ok, _ = check_file(sup, label=sup)
+        ok = ok and sup_ok
+    else:
+        print(f"check_runlog: {sup}: no supervisor log", file=sys.stderr)
+        ok = False
+
+    members = {}
+    for name in sorted(os.listdir(run_dir)):
+        log = os.path.join(run_dir, name, "run.jsonl")
+        if os.path.isfile(log):
+            m_ok, info = check_file(log, label=log)
+            ok = ok and m_ok
+            members[name] = info
+
+    if not members:
+        print(f"check_runlog: {run_dir}: no member run logs", file=sys.stderr)
+        return False
+
+    # staleness is offline-relative: against the newest wall stamp seen
+    # anywhere in the run, not against the clock of whoever runs the tool
+    newest = max((i["last_wall"] for i in members.values()
+                  if i["last_wall"] is not None), default=None)
+    print(f"\nper-member metrics ({len(members)} member(s)):")
+    for name, info in sorted(members.items()):
+        n = info["n_metrics"]
+        if n == 0:
+            line = f"  {name:14} no metrics records"
+            if require_metrics:
+                ok = False
+                line += "  [FAIL: --require-metrics]"
+        else:
+            stale = ""
+            if newest is not None and info["last_metrics_wall"] is not None:
+                stale = (f", {newest - info['last_metrics_wall']:.1f}s behind "
+                         "the fleet's newest record")
+            line = f"  {name:14} {n} metrics record(s){stale}"
+        print(line)
+    return ok
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("runlog", help="path to a JSONL run log, or an ensemble "
+                    "out-dir (validates ensemble.jsonl + member logs)")
+    ap.add_argument("--min-manifests", type=int, default=1,
+                    help="minimum number of manifest events (default 1; "
+                    "a kill/resume pair should have 2)")
+    ap.add_argument("--require-heartbeat", action="store_true",
+                    help="fail unless at least one heartbeat event is present")
+    ap.add_argument("--require-metrics", action="store_true",
+                    help="directory mode: fail for members without any "
+                    "metrics records")
+    args = ap.parse_args(argv)
+
+    if os.path.isdir(args.runlog):
+        return 0 if check_ensemble_dir(
+            args.runlog, require_metrics=args.require_metrics) else 1
+    if not os.path.exists(args.runlog):
+        print(f"check_runlog: {args.runlog}: no such file", file=sys.stderr)
+        return 1
+    ok, _ = check_file(args.runlog, min_manifests=args.min_manifests,
+                       require_heartbeat=args.require_heartbeat)
     return 0 if ok else 1
 
 

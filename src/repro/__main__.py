@@ -48,8 +48,16 @@ JSON), ``--log-json PATH`` (structured JSONL run records) and
 ``obs-status RUN_DIR [--watch N]``
     Render the fleet status table of an ensemble run directory (member,
     state, step, simulated time, wall rate, energy drift, retries,
-    heartbeat staleness) from its on-disk artifacts; ``--watch N``
-    re-renders every N seconds until interrupted.
+    heartbeat staleness, classifier verdict) from its on-disk artifacts;
+    ``--watch N`` re-renders every N seconds until Ctrl-C (clean exit,
+    tolerant of the run dir disappearing mid-watch).
+``obs-diagnose BUNDLE [--check]``
+    Classify a ``*.blackbox.json`` diagnostic bundle dumped by the
+    flight recorder on a terminal fault: validates the bundle schema and
+    fingerprint, then prints a structured verdict (``nan_origin`` |
+    ``energy_blowup`` | ``cfl_collapse`` | ``worker_death`` |
+    ``unknown``) with its evidence lines.  ``--check`` exits non-zero on
+    a schema-invalid bundle (see README "Postmortem debugging").
 ``bench [--out PATH] [--node NAME]``
     Run the standardized kernel benchmark battery and append a
     schema-versioned record to ``BENCH_<host-context>.json`` (compare
@@ -150,6 +158,13 @@ def main(argv=None) -> int:
                       "(holds ensemble.jsonl and per-member dirs)")
     p_st.add_argument("--watch", type=float, default=None, metavar="N",
                       help="re-render every N seconds until interrupted")
+    p_d = sub.add_parser("obs-diagnose",
+                         help="classify a *.blackbox.json diagnostic bundle")
+    p_d.add_argument("bundle", help="path to a diagnostic bundle, or a "
+                     "directory (classifies the newest bundle in it)")
+    p_d.add_argument("--check", action="store_true",
+                     help="exit non-zero when the bundle fails schema or "
+                     "fingerprint validation")
     p_b = sub.add_parser("bench", help="run the kernel benchmark battery")
     p_b.add_argument("--out", default=None, metavar="PATH",
                      help="history file (default: BENCH_<host-context>.json at repo root)")
@@ -245,20 +260,13 @@ def main(argv=None) -> int:
             path = out
         return summarize_trace_file(path, check=args.check)
     if args.command == "obs-status":
-        import time as _time
+        from repro.obs.fleet import watch_status
 
-        from repro.obs.fleet import status_lines
+        return watch_status(args.run_dir, interval=args.watch)
+    if args.command == "obs-diagnose":
+        from repro.obs.blackbox import diagnose_bundle_file
 
-        while True:
-            for line in status_lines(args.run_dir):
-                print(line)
-            if args.watch is None:
-                return 0
-            try:
-                _time.sleep(max(args.watch, 0.1))
-            except KeyboardInterrupt:
-                return 0
-            print()
+        return diagnose_bundle_file(args.bundle, check=args.check)
     if args.command == "bench":
         from repro.obs.bench import battery_lines, run_battery
 

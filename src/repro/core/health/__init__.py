@@ -44,7 +44,47 @@ __all__ = [
     "SimulationDiverged",
     "Watchdog",
     "total_energy",
+    "state_arrays",
+    "first_nonfinite_index",
 ]
+
+
+def state_arrays(solver) -> list[tuple]:
+    """The time-marching arrays a health sweep must scan, as
+    ``(name, array)`` pairs — shared by :meth:`Watchdog.check` and the
+    black-box NaN-origin localization
+    (:func:`repro.obs.blackbox.locate_nonfinite`)."""
+    arrays = [("Q", solver.Q)]
+    if len(solver.gravity):
+        arrays.append(("gravity.eta", solver.gravity.eta))
+    if solver.motion is not None:
+        arrays.append(("motion.uplift", solver.motion.uplift))
+    if solver.fault is not None:
+        arrays.append(("fault.psi", solver.fault.psi))
+        arrays.append(("fault.slip_rate", solver.fault.slip_rate))
+        arrays.append(("fault.slip", solver.fault.slip))
+    return arrays
+
+
+def first_nonfinite_index(arr) -> int | None:
+    """Flat index of the first non-finite entry, found by bisection.
+
+    ``None`` when the array is entirely finite.  The bisection keeps the
+    localization pass O(log n) vectorized ``isfinite`` sweeps over
+    shrinking halves instead of materializing a full boolean mask plus
+    ``argmin`` — the dump path runs on states that can be large.
+    """
+    a = np.asarray(arr).ravel()
+    if a.size == 0 or np.isfinite(a).all():
+        return None
+    lo, hi = 0, a.size
+    while hi - lo > 1024:
+        mid = (lo + hi) // 2
+        if not np.isfinite(a[lo:mid]).all():
+            hi = mid
+        else:
+            lo = mid
+    return lo + int(np.argmin(np.isfinite(a[lo:hi])))
 
 
 def total_energy(solver) -> float:
@@ -112,12 +152,15 @@ class SimulationDiverged(RuntimeError):
     """
 
     def __init__(self, *, t: float, step: int, attempts: int, dt_scale: float,
-                 reports: list, wall_s: float | None = None):
+                 reports: list, wall_s: float | None = None,
+                 bundle: str | None = None):
         self.t = t
         self.step = step
         self.attempts = attempts
         self.dt_scale = dt_scale
         self.wall_s = wall_s
+        #: diagnostic-bundle path dumped by the flight recorder (if any)
+        self.bundle = bundle
         self.reports = list(reports)
         head = (
             f"simulation diverged at t={t:.6g} (step {step}) after "
@@ -137,6 +180,7 @@ class SimulationDiverged(RuntimeError):
             "attempts": self.attempts,
             "dt_scale": self.dt_scale,
             "wall_s": self.wall_s,
+            "bundle": self.bundle,
             "failures": [
                 r.describe() if isinstance(r, HealthReport) else str(r)
                 for r in self.reports
@@ -205,23 +249,22 @@ class Watchdog:
 
     # -- checks ----------------------------------------------------------
     def _check_state(self) -> str:
-        s = self.solver
-        arrays = [("Q", s.Q)]
-        if len(s.gravity):
-            arrays.append(("gravity.eta", s.gravity.eta))
-        if s.motion is not None:
-            arrays.append(("motion.uplift", s.motion.uplift))
-        if s.fault is not None:
-            arrays.append(("fault.psi", s.fault.psi))
-            arrays.append(("fault.slip_rate", s.fault.slip_rate))
-            arrays.append(("fault.slip", s.fault.slip))
         bad = []
-        for name, arr in arrays:
+        for name, arr in state_arrays(self.solver):
             finite = np.isfinite(arr)
             if not finite.all():
                 n_nan = int(np.isnan(arr).sum())
                 n_inf = int(arr.size - finite.sum()) - n_nan
-                bad.append(f"{name} has {n_nan} NaN / {n_inf} Inf values")
+                # name the first offending entry: the element (leading
+                # axis) where the corruption was born, not just counts
+                flat = first_nonfinite_index(arr)
+                a = np.asarray(arr)
+                idx = np.unravel_index(flat, a.shape) if a.ndim else (0,)
+                bad.append(
+                    f"{name} has {n_nan} NaN / {n_inf} Inf values "
+                    f"(first at element {int(idx[0])}, "
+                    f"{name}[{', '.join(str(int(i)) for i in idx)}])"
+                )
         return "; ".join(bad)
 
     def _check_energy(self) -> str:

@@ -28,6 +28,7 @@ from __future__ import annotations
 
 import os
 import time
+import traceback
 import warnings
 
 from ..io.checkpoint import (
@@ -38,6 +39,7 @@ from ..io.checkpoint import (
     restore_checkpoint,
     restore_state,
 )
+from ..obs.blackbox import BUNDLE_SUFFIX, FlightRecorder, dump_bundle
 from ..sched import HookBus, Scheduler
 from .health import HealthError, SimulationDiverged, Watchdog
 
@@ -75,6 +77,16 @@ class ResilientRunner:
         Optional :class:`~repro.obs.runlog.RunLog`; checkpoint, resume,
         recovery and divergence events are appended to it as structured
         records alongside whatever the caller logs.
+    blackbox:
+        Keep the always-on flight recorder (default).  The ring records
+        every scheduler micro-step window plus the watchdog's per-step
+        gauges; on a watchdog trip or divergence a fingerprinted
+        diagnostic bundle (``*.blackbox.json``) is dumped into
+        ``blackbox_dir`` and its path attached to the matching
+        recovery/diverged run-log event (``None`` when no directory is
+        configured — the ring still records).
+    blackbox_dir:
+        Where bundles land; defaults to ``checkpoint_dir``.
     """
 
     def __init__(
@@ -90,6 +102,9 @@ class ResilientRunner:
         injector=None,
         verbose: bool = True,
         runlog=None,
+        blackbox: bool = True,
+        blackbox_dir: str | None = None,
+        blackbox_capacity: int = 256,
     ):
         if lts is not None and lts.solver is not solver:
             raise ValueError("lts wraps a different solver instance")
@@ -119,6 +134,18 @@ class ResilientRunner:
         self.rollbacks = 0
         #: checkpoint paths written, in order
         self.checkpoints_written: list = []
+        #: the always-on flight recorder (``None`` only when opted out)
+        self.recorder = (
+            FlightRecorder(blackbox_capacity) if blackbox else None
+        )
+        self.blackbox_dir = blackbox_dir or checkpoint_dir
+        #: diagnostic bundles dumped over the runner's lifetime, in order
+        self.bundles_written: list = []
+        #: newest bundle of the *current* run (``None`` on a clean run —
+        #: a recovered attempt must never carry a stale bundle path)
+        self.last_bundle: str | None = None
+        #: identity fields (member id, attempt) merged into every bundle
+        self.bundle_context: dict = {}
         #: execution backend the supervised solver runs on (serial or
         #: partitioned — the runner itself is backend-agnostic: backends
         #: hold no time-marching state, so rollback/resume never touch them)
@@ -153,6 +180,8 @@ class ResilientRunner:
         except (TypeError, ValueError):
             self.step_count = 0
         self.watchdog.reset()
+        if self.recorder is not None:
+            self.recorder.record("resume", path=path, step=self.step_count)
         if self.runlog is not None:
             self.runlog.emit(
                 "resume", path=path, step=self.step_count, sim_t=self.solver.t
@@ -203,11 +232,19 @@ class ResilientRunner:
                     reports.append(err.report)
                     seg_wall = time.perf_counter() - seg_wall0
                     if attempts > self.max_retries:
+                        # dump before anything else: the state still holds
+                        # the corruption the localization must bisect
+                        bundle = self._dump(
+                            kind="diverged", report=err.report,
+                            reports=reports, attempts=attempts,
+                            excerpt=True,
+                        )
                         if self.runlog is not None:
                             self.runlog.emit(
                                 "diverged", step=err.report.step,
                                 sim_t=err.report.t, attempts=attempts,
                                 dt_scale=self.dt_scale, wall_s=seg_wall,
+                                bundle=bundle,
                             )
                         raise SimulationDiverged(
                             t=err.report.t,
@@ -216,17 +253,26 @@ class ResilientRunner:
                             dt_scale=self.dt_scale,
                             reports=reports,
                             wall_s=seg_wall,
+                            bundle=bundle,
                         ) from err
+                    bundle = self._dump(kind="recovery", report=err.report,
+                                        reports=reports, attempts=attempts)
                     self._rollback(snap)
                     self.dt_scale = (
                         min(self.dt_scale, snap["dt_scale"]) * self.backoff
                     )
+                    if self.recorder is not None:
+                        self.recorder.record(
+                            "recovery", step=err.report.step,
+                            t=err.report.t, attempt=attempts,
+                            dt_scale=self.dt_scale,
+                        )
                     if self.runlog is not None:
                         self.runlog.emit(
                             "recovery", step=err.report.step, sim_t=err.report.t,
                             attempt=attempts, max_retries=self.max_retries,
                             dt_scale=self.dt_scale, wall_s=seg_wall,
-                            reason=err.report.describe(),
+                            reason=err.report.describe(), bundle=bundle,
                         )
                     if self.verbose:
                         print(
@@ -250,7 +296,11 @@ class ResilientRunner:
         carries the nominal dt the CFL monitor must see); under LTS the
         sweep runs at macro-step synchronization points.
         """
+        rec = self.recorder
         if self.lts is not None:
+            if rec is not None:
+                # cluster/window ids of every LTS micro-step window
+                rec.subscribe(bus)
 
             def watch_sync(s):
                 factor = (
@@ -259,10 +309,12 @@ class ResilientRunner:
                     else 1.0
                 )
                 self.step_count += 1
-                self.watchdog.ensure(
-                    dt=self.lts.dt_min * self.dt_scale * factor,
-                    step=self.step_count,
-                )
+                dt = self.lts.dt_min * self.dt_scale * factor
+                self.watchdog.ensure(dt=dt, step=self.step_count)
+                if rec is not None:
+                    rec.record_step(self.step_count, s.t, dt,
+                                    energy=self.watchdog._e_prev,
+                                    dt_scale=self.dt_scale)
 
             bus.on_sync(watch_sync)
         else:
@@ -270,6 +322,10 @@ class ResilientRunner:
             def watch_micro(s, event):
                 self.step_count += 1
                 self.watchdog.ensure(dt=event.dt_nominal, step=self.step_count)
+                if rec is not None:
+                    rec.record_step(self.step_count, s.t, event.dt,
+                                    energy=self.watchdog._e_prev,
+                                    dt_scale=self.dt_scale)
 
             bus.on_micro_step(watch_micro)
 
@@ -286,6 +342,84 @@ class ResilientRunner:
 
     def _checkpoint_hook(self, solver) -> None:
         self._write_checkpoint()
+
+    # -- black-box forensics -------------------------------------------
+    def _dump(self, *, kind: str, report=None, reports=None,
+              attempts: int = 0, error: str | None = None,
+              excerpt: bool = False) -> str | None:
+        """Dump one diagnostic bundle from the live (still-corrupt) state.
+
+        Returns the bundle path, or ``None`` when the recorder is off, no
+        directory is configured, or the write itself fails — forensics
+        must never turn a diagnosable fault into a crash.
+        """
+        if self.recorder is None or self.blackbox_dir is None:
+            return None
+        from ..obs.runlog import run_manifest
+
+        name = (f"step{self.step_count:08d}-"
+                f"{len(self.bundles_written):02d}-{kind}{BUNDLE_SUFFIX}")
+        path = os.path.join(self.blackbox_dir, name)
+        failures = [
+            r.describe() if hasattr(r, "describe") else str(r)
+            for r in (reports or ([report] if report is not None else []))
+        ]
+        spans = self._recent_spans()
+        try:
+            state = (capture_state(self.solver, self.lts)
+                     if excerpt else None)
+            dump_bundle(
+                path,
+                kind=kind,
+                reason=report.describe() if report is not None else None,
+                ring=self.recorder,
+                solver=self.solver,
+                lts=self.lts,
+                error=error,
+                failures=failures,
+                manifest=run_manifest(self.solver, config={
+                    "supervised": True,
+                    "max_retries": self.max_retries,
+                    "checkpoint_every": self.checkpoint_every,
+                }),
+                context=dict(self.bundle_context),
+                spans=spans,
+                extra={"attempts": attempts, "dt_scale": self.dt_scale,
+                       "step": self.step_count},
+                state=state,
+            )
+        except Exception as exc:
+            warnings.warn(
+                f"diagnostic-bundle dump failed at step {self.step_count}: "
+                f"{exc}; continuing — the fault itself is still reported",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            return None
+        self.bundles_written.append(path)
+        self.last_bundle = path
+        return path
+
+    @staticmethod
+    def _recent_spans(limit: int = 32) -> list:
+        """Tail of the telemetry span buffer (empty unless tracing)."""
+        from ..obs.telemetry import get_telemetry
+
+        tel = get_telemetry()
+        if not tel.enabled:
+            return []
+        try:
+            spans = tel.trace_snapshot().get("spans", [])
+        except Exception:
+            return []
+        return [list(s[:4]) for s in spans[-limit:]]
+
+    def dump_exception(self, exc: BaseException) -> str | None:
+        """Dump a bundle for an unhandled exception (worker crash path)."""
+        error = "".join(
+            traceback.format_exception(type(exc), exc, exc.__traceback__)
+        )
+        return self._dump(kind="exception", error=error, excerpt=True)
 
     # ------------------------------------------------------------------
     def _snapshot(self) -> dict:
@@ -324,6 +458,9 @@ class ResilientRunner:
             )
         else:
             self.checkpoints_written.append(path)
+            if self.recorder is not None:
+                self.recorder.record("checkpoint", step=self.step_count,
+                                     t=self.solver.t, path=path)
             if self.runlog is not None:
                 self.runlog.emit(
                     "checkpoint", path=path, step=self.step_count,

@@ -40,10 +40,19 @@ class MemberResult:
     #: scenario-level summary metrics from the builder's ``summarize``
     summary: dict = field(default_factory=dict)
     #: chronological failure history: one dict per failed attempt
-    #: ({"attempt", "reason", "delay_s", "resume", "dt_scale"})
+    #: ({"attempt", "reason", "delay_s", "resume", "dt_scale", "bundle",
+    #: "verdict"})
     history: list = field(default_factory=list)
-    #: why the member was quarantined (``None`` unless quarantined)
+    #: why the member was quarantined (``None`` unless quarantined) — the
+    #: black-box classifier verdict plus its leading evidence line
     diagnosis: str | None = None
+    #: classifier verdict of the terminal failure (``nan_origin`` |
+    #: ``energy_blowup`` | ``cfl_collapse`` | ``worker_death`` |
+    #: ``unknown``); ``None`` unless quarantined
+    verdict: str | None = None
+    #: diagnostic-bundle path of the terminal failure (``None`` unless
+    #: quarantined — a recovered member never carries a stale bundle)
+    bundle: str | None = None
     #: artifact paths: member dir, per-member run log, result file,
     #: checkpoint dir
     paths: dict = field(default_factory=dict)
@@ -142,5 +151,7 @@ class EnsembleResult:
             line += ")"
             if m.diagnosis:
                 line += f" — {m.diagnosis}"
+            if m.bundle:
+                line += f" [bundle: {m.bundle}]"
             out.append(line)
         return out

@@ -40,7 +40,15 @@ import queue as queue_mod
 import time
 
 from ..core.health.inject import InjectedHang, InjectedWorkerDeath
-from ..obs.fleet import FleetAggregator
+from ..obs.blackbox import (
+    BUNDLE_SUFFIX,
+    build_bundle,
+    classify_bundle,
+    find_bundles,
+    load_bundle,
+    write_bundle,
+)
+from ..obs.fleet import FleetAggregator, read_jsonl_tolerant
 from ..obs.runlog import RunLog
 from .result import EnsembleResult, MemberResult
 from .retry import RetryPolicy
@@ -393,9 +401,51 @@ class Supervisor:
         else:
             self._succeed(m, log, result)
 
+    # -- black-box forensics -------------------------------------------
+    def _collect_bundle(self, m: _Member, reason: str):
+        """Bundle path + document diagnosing this attempt's failure.
+
+        Prefers a bundle the worker itself dumped *for this attempt*
+        (divergence / unhandled exception); a process-level death leaves
+        none, so the supervisor synthesizes one from what it can still
+        see: the strike reason, the last heartbeat metrics and the tail
+        of the member's durable run log as the ring.  Returns
+        ``(path, doc)`` with ``path`` possibly ``None`` when even the
+        synthesized dump cannot be written.
+        """
+        mdir = m.paths["dir"]
+        for path in reversed(find_bundles(mdir)):
+            try:
+                doc = load_bundle(path)
+            except (OSError, ValueError):
+                continue
+            if (doc.get("context") or {}).get("attempt") == m.attempts:
+                return path, doc
+        # no worker-side bundle for this attempt: synthesize one
+        ring = [dict(rec, kind=rec.get("event", "record"))
+                for rec in read_jsonl_tolerant(m.paths["runlog"])[-40:]]
+        doc = build_bundle(
+            kind="supervisor",
+            reason=reason,
+            ring=ring,
+            context={"member": m.spec.member_id, "attempt": m.attempts},
+            metrics=m.last_metrics,
+            extra={"exit": reason, "last_error": m.last_error},
+        )
+        path = os.path.join(
+            mdir, f"supervisor-a{m.attempts:02d}{BUNDLE_SUFFIX}")
+        try:
+            os.makedirs(mdir, exist_ok=True)
+            write_bundle(path, doc)
+        except OSError:
+            path = None  # classification still works off the document
+        return path, doc
+
     # -- strike / succeed / quarantine ----------------------------------
     def _strike(self, m: _Member, log, reason: str) -> None:
         m.strikes += 1
+        bundle, bundle_doc = self._collect_bundle(m, reason)
+        verdict = classify_bundle(bundle_doc)
         decision = self.retry.decide(m.strikes, seed=m.spec.seed)
         entry = {
             "attempt": m.attempts,
@@ -403,6 +453,8 @@ class Supervisor:
             "delay_s": decision.delay_s,
             "resume": decision.resume,
             "dt_scale": decision.dt_scale,
+            "bundle": bundle,
+            "verdict": verdict["verdict"],
         }
         m.history.append(entry)
         if decision.retry:
@@ -413,26 +465,33 @@ class Supervisor:
             log.emit("member_retry", member=m.spec.member_id,
                      attempt=m.attempts, reason=reason,
                      delay_s=decision.delay_s, resume=decision.resume,
-                     dt_scale=decision.dt_scale, metrics=self._brief(m))
+                     dt_scale=decision.dt_scale, bundle=bundle,
+                     verdict=verdict["verdict"], metrics=self._brief(m))
             if self.verbose:
                 print(f"[ensemble] {m.spec.member_id}: {reason} — retry "
                       f"{m.strikes}/{self.retry.max_retries} in "
                       f"{decision.delay_s:.2f}s")
         else:
+            # the classifier verdict replaces the free-text diagnosis:
+            # a quarantine record must answer *what class of fault* this
+            # was, not just replay the last strike string
+            evidence = verdict["evidence"][0] if verdict["evidence"] else reason
             diagnosis = (
-                f"quarantined after {m.attempts} attempt(s); last failure: "
-                f"{reason}"
+                f"{verdict['verdict']} after {m.attempts} attempt(s): "
+                f"{evidence}"
             )
             wall = time.perf_counter() - m.first_wall
             m.result = MemberResult(
                 member_id=m.spec.member_id, status="quarantined",
                 attempts=m.attempts, wall_s=wall, dt_scale=m.dt_scale,
-                history=m.history, diagnosis=diagnosis, paths=m.paths,
+                history=m.history, diagnosis=diagnosis,
+                verdict=verdict["verdict"], bundle=bundle, paths=m.paths,
             )
             self.aggregator.update(m.spec.member_id, None,
                                    state="quarantined")
             log.emit("member_quarantined", member=m.spec.member_id,
                      attempts=m.attempts, diagnosis=diagnosis,
+                     verdict=verdict["verdict"], bundle=bundle,
                      history=m.history, metrics=self._brief(m))
             log.emit("member_end", member=m.spec.member_id,
                      status="quarantined", attempts=m.attempts, wall_s=wall,
@@ -443,11 +502,14 @@ class Supervisor:
     def _succeed(self, m: _Member, log, result: dict) -> None:
         wall = time.perf_counter() - m.first_wall
         status = "ok" if m.strikes == 0 else "recovered"
+        # verdict/bundle stay None even after earlier failed attempts: a
+        # member that recovered on retry must not carry a stale bundle
+        # path (the per-attempt dumps remain in its history entries)
         m.result = MemberResult(
             member_id=m.spec.member_id, status=status, attempts=m.attempts,
             wall_s=wall, dt_scale=float(result.get("dt_scale", m.dt_scale)),
             digest=result.get("digest"), summary=result.get("summary", {}),
-            history=m.history, paths=m.paths,
+            history=m.history, verdict=None, bundle=None, paths=m.paths,
         )
         # the result file carries the member's final compact snapshot —
         # authoritative over whatever heartbeat arrived last

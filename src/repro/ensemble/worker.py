@@ -53,6 +53,7 @@ RESULT_NAME = "result.json"
 RUNLOG_NAME = "run.jsonl"
 CKPT_DIRNAME = "ckpt"
 TRACE_NAME = "trace.json"
+#: diagnostic bundles (``*.blackbox.json``) land in the member dir root
 
 #: keys a result file must carry to count as a valid attempt outcome
 REQUIRED_RESULT_KEYS = (
@@ -69,6 +70,7 @@ def member_paths(out_dir: str, member_id: str) -> dict:
         "runlog": os.path.join(mdir, RUNLOG_NAME),
         "ckpt_dir": os.path.join(mdir, CKPT_DIRNAME),
         "trace": os.path.join(mdir, TRACE_NAME),
+        "blackbox_dir": mdir,
     }
 
 
@@ -151,6 +153,7 @@ def _run_member_attempt(spec, member_dir, queue, attempt, resume, dt_scale,
         "runlog": os.path.join(member_dir, RUNLOG_NAME),
         "ckpt_dir": os.path.join(member_dir, CKPT_DIRNAME),
         "trace": os.path.join(member_dir, TRACE_NAME),
+        "blackbox_dir": member_dir,
     }
     wall0 = time.perf_counter()
     pid = os.getpid()
@@ -178,8 +181,12 @@ def _run_member_attempt(spec, member_dir, queue, attempt, resume, dt_scale,
         injector=spec.injector,
         verbose=False,
         runlog=runlog,
+        blackbox_dir=member_dir,
     )
     runner.dt_scale = float(dt_scale)
+    # every bundle this attempt dumps is attributable to it: the
+    # supervisor only trusts a bundle whose context names the attempt
+    runner.bundle_context = {"member": spec.member_id, "attempt": attempt}
 
     resumed_from = None
     if resume:
@@ -232,6 +239,7 @@ def _run_member_attempt(spec, member_dir, queue, attempt, resume, dt_scale,
 
     status = "completed"
     diverged = None
+    bundle = None
     try:
         runner.run(spec.t_end, hooks=hooks)
     except SimulationDiverged as exc:
@@ -239,7 +247,16 @@ def _run_member_attempt(spec, member_dir, queue, attempt, resume, dt_scale,
         # supervisor decides whether to escalate or quarantine
         status = "diverged"
         diverged = str(exc)
-
+        bundle = exc.bundle if exc.bundle is not None else runner.last_bundle
+    except BaseException as exc:
+        # anything else kills the attempt: dump a crash bundle best
+        # effort (the supervisor collects it from the member dir), then
+        # let the failure propagate — exit code 3 / simulated-fault path
+        try:
+            runner.dump_exception(exc)
+        except Exception:
+            pass
+        raise
     wall_s = time.perf_counter() - wall0
     result = {
         "member_id": spec.member_id,
@@ -253,6 +270,9 @@ def _run_member_attempt(spec, member_dir, queue, attempt, resume, dt_scale,
         "rollbacks": int(runner.rollbacks),
         "resumed_from": resumed_from,
         "diverged": diverged,
+        # only a diverged attempt carries its bundle: a clean (or
+        # recovered-on-retry) attempt must not point at a stale dump
+        "bundle": bundle,
         "summary": handle.summarize(solver) if handle.summarize else {},
         "metrics": met.compact() if met is not None else None,
         "paths": paths,
@@ -354,8 +374,17 @@ def child_main(spec: MemberSpec, member_dir: str, queue, attempt: int,
     Any unhandled exception is reported over the queue (best effort) and
     exits with status 3; a watchdog-diagnosed divergence still exits 0 —
     it published a valid result file carrying ``status="diverged"`` and
-    the supervisor escalates from there.
+    the supervisor escalates from there.  ``faulthandler`` is armed so a
+    native crash (segfault, abort) still prints every thread's stack to
+    stderr — the last-resort complement to the diagnostic bundles the
+    Python-level paths dump.
     """
+    try:
+        import faulthandler
+
+        faulthandler.enable()
+    except Exception:
+        pass
     try:
         run_member(spec, member_dir, queue=queue, attempt=attempt,
                    resume=resume, dt_scale=dt_scale)

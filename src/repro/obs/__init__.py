@@ -24,12 +24,31 @@ The measurement layer behind the paper's Sec. 5-6 performance story:
 * :mod:`repro.obs.fleet` — supervisor-side :class:`FleetAggregator`
   folding member snapshots into fleet series (``fleet.prom`` /
   ``fleet.jsonl`` exporters) plus the offline ``obs-status`` view;
+* :mod:`repro.obs.blackbox` — always-on bounded flight recorder
+  (:class:`FlightRecorder`) whose ring of recent micro-step events is
+  dumped, on any terminal fault, as an atomic fingerprinted
+  ``*.blackbox.json`` diagnostic bundle (NaN-origin localization,
+  per-field statistics, thread stacks, run manifest) classified by the
+  ``obs-diagnose`` CLI;
 * :mod:`repro.obs.session` — :class:`ObsSession` wiring for the CLI's
   ``--profile`` / ``--trace`` / ``--log-json`` / ``--heartbeat-every`` /
   ``--metrics`` flags.
 """
 
-from .fleet import FleetAggregator, status_lines, status_rows
+from .blackbox import (
+    BUNDLE_SCHEMA_VERSION,
+    FlightRecorder,
+    build_bundle,
+    classify_bundle,
+    diagnose_bundle_file,
+    dump_bundle,
+    find_bundles,
+    load_bundle,
+    newest_bundle,
+    validate_bundle,
+    write_bundle,
+)
+from .fleet import FleetAggregator, status_lines, status_rows, watch_status
 from .metrics import (
     METRICS_SCHEMA_VERSION,
     MetricRegistry,
@@ -78,6 +97,18 @@ __all__ = [
     "FleetAggregator",
     "status_rows",
     "status_lines",
+    "watch_status",
+    "BUNDLE_SCHEMA_VERSION",
+    "FlightRecorder",
+    "build_bundle",
+    "write_bundle",
+    "dump_bundle",
+    "load_bundle",
+    "validate_bundle",
+    "classify_bundle",
+    "find_bundles",
+    "newest_bundle",
+    "diagnose_bundle_file",
     "ObsSession",
     "add_obs_args",
     "obs_kwargs",

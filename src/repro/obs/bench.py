@@ -66,7 +66,7 @@ BENCH_SCHEMA_VERSION = 1
 #: solver state and therefore always runs last among the solver kernels)
 BATTERY_KERNELS = ("predictor", "corrector", "riemann_setup",
                    "gravity_ode", "halo_gather", "sched_replay", "lts_macro",
-                   "metrics_overhead")
+                   "metrics_overhead", "blackbox_overhead")
 
 
 def host_context() -> str:
@@ -314,6 +314,30 @@ def run_battery(out: str | None = None, node: str = "local", order: int = 3,
         1, round(macro_updates / max(1, ne)))
     benches["metrics_overhead"]["step_fraction"] = (
         40 * benches["metrics_overhead"]["seconds_per_call"] / per_step)
+
+    # blackbox_overhead: the always-on flight recorder's hot path — one
+    # tuple append into a bounded deque per micro window and per watchdog
+    # pass.  Timed on a private recorder; the same <2%-of-a-step budget
+    # that gates metrics_overhead applies (tools/bench_compare.py).
+    from .blackbox import FlightRecorder
+
+    rec_bb = FlightRecorder()
+    n_rec = 3000
+
+    def blackbox_overhead():
+        for i in range(n_rec):
+            rec_bb.record_micro(i, 0, i, 1.0e-3)
+            rec_bb.record_step(i, 1.0e-3 * i, 1.0e-3, energy=1.0,
+                               dt_scale=1.0)
+
+    seconds_bb = _best_of(blackbox_overhead, repeats)
+    add("blackbox_overhead", seconds_bb)
+    benches["blackbox_overhead"]["calls"] = 2 * n_rec
+    benches["blackbox_overhead"]["seconds_per_call"] = seconds_bb / (2 * n_rec)
+    # the recorder fires ~2 sites per step (micro window + post-watchdog
+    # step gauge) — far fewer than the ~40 metric guard sites
+    benches["blackbox_overhead"]["step_fraction"] = (
+        2 * benches["blackbox_overhead"]["seconds_per_call"] / per_step)
 
     record = {
         "schema": BENCH_SCHEMA_VERSION,

@@ -29,6 +29,7 @@ from __future__ import annotations
 import json
 import math
 import os
+import sys
 import tempfile
 import time
 
@@ -45,6 +46,7 @@ __all__ = [
     "read_jsonl_tolerant",
     "status_rows",
     "status_lines",
+    "watch_status",
 ]
 
 FLEET_PROM = "fleet.prom"
@@ -386,8 +388,32 @@ def status_rows(run_dir: str, now: float | None = None) -> list[dict]:
             "stale_s": stale,
             "heartbeats": len(beats),
             "metrics_records": len(metrics),
+            "verdict": _member_verdict(run_dir, mid, sup_mine),
         })
     return rows
+
+
+def _member_verdict(run_dir: str, mid: str, sup_mine: list) -> str | None:
+    """Black-box classifier verdict of the member's newest bundle.
+
+    The supervisor's quarantine event carries the authoritative verdict;
+    otherwise (mid-run, or a supervisor log that predates schema v3) the
+    newest ``*.blackbox.json`` in the member dir is classified directly.
+    ``None`` when the member never dumped a bundle.
+    """
+    quarantined = _last(sup_mine, "member_quarantined")
+    if quarantined is not None and isinstance(quarantined.get("verdict"),
+                                              str):
+        return quarantined["verdict"]
+    from .blackbox import classify_bundle, load_bundle, newest_bundle
+
+    path = newest_bundle(os.path.join(run_dir, mid))
+    if path is None:
+        return None
+    try:
+        return classify_bundle(load_bundle(path))["verdict"]
+    except (OSError, ValueError, KeyError, TypeError):
+        return None
 
 
 def _cell(value, fmt: str, missing: str = "-") -> str:
@@ -404,7 +430,8 @@ def status_lines(run_dir: str, now: float | None = None) -> list[str]:
     now = time.time() if now is None else now
     rows = status_rows(run_dir, now=now)
     header = (f"  {'member':16} {'state':12} {'step':>8} {'sim_t':>10} "
-              f"{'steps/s':>8} {'e-drift':>9} {'retries':>7} {'stale':>7}")
+              f"{'steps/s':>8} {'e-drift':>9} {'retries':>7} {'stale':>7} "
+              f"{'verdict':13}")
     lines = [f"== fleet status: {run_dir} ==", header,
              "  " + "-" * (len(header) - 2)]
     if not rows:
@@ -418,7 +445,8 @@ def status_lines(run_dir: str, now: float | None = None) -> list[str]:
             f"{_cell(row['wall_rate'], '>8.2f'):>8} "
             f"{_cell(row['energy_drift'], '>9.2e'):>9} "
             f"{row['retries']:>7} "
-            f"{_cell(row['stale_s'], '>6.1f') + 's' if row['stale_s'] is not None else '-':>7}"
+            f"{_cell(row['stale_s'], '>6.1f') + 's' if row['stale_s'] is not None else '-':>7} "
+            f"{(row.get('verdict') or '-')[:13]:13}"
         )
     states: dict[str, int] = {}
     for row in rows:
@@ -426,7 +454,44 @@ def status_lines(run_dir: str, now: float | None = None) -> list[str]:
     summary = ", ".join(f"{n} {st}" for st, n in sorted(states.items()))
     lines.append(f"  {len(rows)} member(s): {summary}")
     prom = os.path.join(run_dir, FLEET_PROM)
-    if os.path.isfile(prom):
+    try:
+        has_prom = os.path.isfile(prom)
+    except OSError:
+        has_prom = False
+    if has_prom:
         lines.append(f"  exporters: {prom} "
                      f"+ {os.path.join(run_dir, FLEET_JSONL)}")
     return lines
+
+
+def watch_status(run_dir: str, interval: float | None = None,
+                 iterations: int | None = None, stream=None) -> int:
+    """``obs-status`` driver: render once, or every ``interval`` seconds.
+
+    Watch mode must behave like ``tail -f`` on a live run: Ctrl-C at any
+    point (mid-render included) exits cleanly with status 0, and a run
+    dir or exporter file disappearing between renders — members being
+    cleaned up, an NFS blip — shows up as a placeholder row on the next
+    render instead of a traceback.  ``iterations`` bounds the number of
+    renders (for tests).
+    """
+    out = stream if stream is not None else sys.stdout
+    n = 0
+    try:
+        while True:
+            try:
+                lines = status_lines(run_dir)
+            except OSError as exc:  # defense in depth: stay watching
+                lines = [f"== fleet status: {run_dir} ==",
+                         f"  (status unavailable: {exc})"]
+            for line in lines:
+                print(line, file=out)
+            n += 1
+            if interval is None or (iterations is not None
+                                    and n >= iterations):
+                return 0
+            time.sleep(max(interval, 0.1))
+            print(file=out)
+    except KeyboardInterrupt:
+        print(file=out)
+        return 0

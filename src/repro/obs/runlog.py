@@ -22,7 +22,9 @@ Events
     atomic checkpoint writes and restarts.
 ``recovery`` / ``diverged``
     The watchdog-trip/rollback events of the resilience supervisor,
-    including wall-clock timing and retry counts.
+    including wall-clock timing, retry counts and — schema v3 — the
+    diagnostic-bundle path the black-box flight recorder dumped for the
+    failure (``null`` when no bundle directory was configured).
 ``run_end``
     Final record: step totals, wall time, and the full telemetry
     snapshot (phases + counters) when profiling was enabled.
@@ -66,7 +68,11 @@ __all__ = [
 
 #: Bumped whenever the record envelope or required fields change.
 #: v2: the ``metrics`` event gained required fields (step, sim_t, metrics).
-SCHEMA_VERSION = 2
+#: v3: ``recovery``/``diverged`` gained a required ``bundle`` field (the
+#: diagnostic-bundle path the flight recorder dumped, or null) and
+#: ``member_quarantined`` gained required ``bundle`` + ``verdict`` (the
+#: black-box classifier's structured verdict replacing free text).
+SCHEMA_VERSION = 3
 
 #: Required payload fields per event type (beyond the envelope fields
 #: ``event``/``seq``/``wall``/``run_id``, required on every record).
@@ -76,14 +82,16 @@ EVENT_FIELDS: dict[str, tuple] = {
     "checkpoint": ("path", "step", "sim_t"),
     "resume": ("path", "step", "sim_t"),
     "recovery": ("step", "sim_t", "attempt", "max_retries", "dt_scale",
-                 "wall_s", "reason"),
-    "diverged": ("step", "sim_t", "attempts", "dt_scale", "wall_s"),
+                 "wall_s", "reason", "bundle"),
+    "diverged": ("step", "sim_t", "attempts", "dt_scale", "wall_s",
+                 "bundle"),
     "run_end": ("steps", "wall_s", "phases", "counters"),
     "metrics": ("step", "sim_t", "metrics"),
     "member_start": ("member", "attempt", "scenario", "pid"),
     "member_retry": ("member", "attempt", "reason", "delay_s", "resume",
                      "dt_scale"),
-    "member_quarantined": ("member", "attempts", "diagnosis"),
+    "member_quarantined": ("member", "attempts", "diagnosis", "verdict",
+                           "bundle"),
     "member_end": ("member", "status", "attempts", "wall_s"),
     "ensemble_summary": ("members", "ok", "recovered", "quarantined",
                          "wall_s"),

@@ -386,9 +386,17 @@ def summarize_trace(doc: dict) -> dict:
     """Timeline metrics of an exported trace document.
 
     Returns a dict with ``wall_s``, per-lane ``lanes`` (busy/idle), phase
-    ``totals`` by span name, ``critical_path_s`` + ``parallelism`` and —
-    when worker spans are present — the ``halo`` overlap block.
+    ``totals`` by span name, ``critical_path_s`` + ``parallelism``, the
+    exporter's ring-buffer ``dropped`` count with a ``truncated`` flag
+    (a truncated trace under-reports every lane's busy time) and — when
+    worker spans are present — the ``halo`` overlap block.
     """
+    other = doc.get("otherData") or {}
+    try:
+        dropped = int(other.get("dropped") or 0)
+    except (TypeError, ValueError):
+        dropped = 0
+    capacity = other.get("capacity")
     lane_names: dict[tuple, str] = {}
     lane_spans: dict[tuple, list] = {}
     for ev in doc.get("traceEvents", []):
@@ -406,7 +414,9 @@ def summarize_trace(doc: dict) -> dict:
     all_spans = [s for spans in lane_spans.values() for s in spans]
     if not all_spans:
         return {"wall_s": 0.0, "lanes": {}, "totals": {},
-                "critical_path_s": 0.0, "parallelism": 0.0, "halo": None}
+                "critical_path_s": 0.0, "parallelism": 0.0, "halo": None,
+                "dropped": dropped, "capacity": capacity,
+                "truncated": dropped > 0}
     t_min = min(s[0] for s in all_spans)
     t_max = max(s[1] for s in all_spans)
     wall = t_max - t_min
@@ -463,6 +473,9 @@ def summarize_trace(doc: dict) -> dict:
         "critical_path_s": critical,
         "parallelism": parallelism,
         "halo": halo,
+        "dropped": dropped,
+        "capacity": capacity,
+        "truncated": dropped > 0,
     }
 
 
@@ -476,6 +489,13 @@ def trace_summary_lines(summary: dict, other: dict | None = None,
             f"  {other.get('spans', '?')} spans"
             + (f" ({dropped} DROPPED past capacity "
                f"{other.get('capacity')})" if dropped else "")
+        )
+    if summary.get("truncated"):
+        # the exporter's ring wrapped: every number below under-counts
+        lines.append(
+            f"  WARNING: trace truncated — {summary['dropped']} span(s) "
+            f"dropped past capacity {summary.get('capacity')}; durations "
+            f"and busy fractions under-count the run"
         )
     lines.append(
         f"  critical path (chain proxy): {summary['critical_path_s']:.4f} s"

@@ -33,6 +33,7 @@ from repro.ensemble import (
     state_digest,
 )
 from repro.ensemble.worker import RESULT_NAME
+from repro.obs.blackbox import BUNDLE_SUFFIX, classify_bundle, load_bundle
 from repro.obs.runlog import validate_jsonl
 
 #: smallest useful member: 27-element coupled mesh, ~25 steps
@@ -222,8 +223,77 @@ class TestSupervisorInProcess:
         assert m.status == "quarantined"
         assert m.attempts == 3  # initial + max_retries=2
         assert len(m.history) == 3
-        assert "quarantined after 3 attempt(s)" in m.diagnosis
+        # the diagnosis leads with the classifier verdict, not free text
+        assert "worker_death after 3 attempt(s)" in m.diagnosis
+        assert m.verdict == "worker_death"
         assert result.degraded
+
+    def test_recovered_member_drops_stale_bundle(self, tmp_path):
+        # a member that recovers on retry must NOT carry the failed
+        # attempt's bundle forward — the per-attempt dumps stay in its
+        # history entries, but verdict/bundle on the result are clean
+        spec = tiny_spec(injector=FaultInjector().kill_process(at_step=10))
+        result = self.run_ensemble([spec], tmp_path)
+        m = result.members[0]
+        assert m.status == "recovered"
+        assert m.verdict is None
+        assert m.bundle is None
+        assert m.history[0]["bundle"]
+        assert m.history[0]["bundle"].endswith(BUNDLE_SUFFIX)
+        assert m.history[0]["verdict"] == "worker_death"
+        # the published result file round-trips the same contract
+        loaded = EnsembleResult.load(os.path.join(str(tmp_path),
+                                                  "ensemble.json"))
+        lm = loaded.member("m0")
+        assert lm.verdict is None and lm.bundle is None
+        assert lm.history[0]["verdict"] == "worker_death"
+
+    def test_persistent_nan_quarantines_as_nan_origin(self, tmp_path):
+        # a diverging member's quarantine record carries the flight
+        # recorder's verdict and a bundle path that localizes the NaN
+        spec = tiny_spec(max_retries=0, injector=FaultInjector()
+                         .corrupt_state(3, persistent=True))
+        result = self.run_ensemble([spec], tmp_path)
+        m = result.members[0]
+        assert m.status == "quarantined"
+        assert m.verdict == "nan_origin"
+        assert m.diagnosis.startswith("nan_origin after 3 attempt(s)")
+        assert m.bundle and os.path.isfile(m.bundle)
+        doc = load_bundle(m.bundle)
+        verdict = classify_bundle(doc)
+        assert verdict["verdict"] == "nan_origin"
+        # attempt-scoped attribution: the quarantine bundle belongs to
+        # the final attempt, not a stale dump from an earlier one
+        assert (doc.get("context") or {}).get("attempt") == m.attempts
+        assert all(h["verdict"] == "nan_origin" for h in m.history)
+        assert all(h["bundle"] for h in m.history)
+
+    def test_quarantine_events_carry_verdict_and_bundle(self, tmp_path):
+        spec = tiny_spec(max_retries=0, injector=FaultInjector()
+                         .corrupt_state(3, persistent=True))
+        self.run_ensemble([spec], tmp_path)
+        log_path = os.path.join(str(tmp_path), "ensemble.jsonl")
+        report = validate_jsonl(log_path)
+        assert not report["errors"], report["errors"]
+        with open(log_path, encoding="utf-8") as f:
+            records = [json.loads(line) for line in f if line.strip()]
+        retries = [r for r in records if r["event"] == "member_retry"]
+        quars = [r for r in records if r["event"] == "member_quarantined"]
+        assert retries and quars
+        for r in retries + quars:
+            assert r["verdict"] == "nan_origin"
+            assert r["bundle"] and r["bundle"].endswith(BUNDLE_SUFFIX)
+
+    def test_persistent_hang_quarantines_as_worker_death(self, tmp_path):
+        spec = tiny_spec(injector=FaultInjector().hang(at_step=8,
+                                                       persistent=True))
+        result = self.run_ensemble([spec], tmp_path)
+        m = result.members[0]
+        assert m.status == "quarantined"
+        assert m.verdict == "worker_death"
+        assert m.bundle and os.path.isfile(m.bundle)
+        assert classify_bundle(load_bundle(m.bundle))["verdict"] == \
+            "worker_death"
 
     def test_fleet_survives_one_bad_member(self, tmp_path):
         specs = [
@@ -351,7 +421,11 @@ class TestSupervisorMultiprocess:
         assert m.attempts == 3
         assert len(m.history) == 3
         assert all("signal 9" in h["reason"] for h in m.history)
-        assert "quarantined after 3 attempt(s)" in m.diagnosis
+        # a real kill -9 leaves no worker-side bundle: the supervisor
+        # synthesizes one and the classifier reads the death marker
+        assert "worker_death after 3 attempt(s)" in m.diagnosis
+        assert m.verdict == "worker_death"
+        assert m.bundle and os.path.isfile(m.bundle)
         # escalation recorded: the second strike already reduced dt
         # (the final entry is the quarantine decision itself, no retry)
         assert m.history[1]["dt_scale"] < 1.0

@@ -9,6 +9,7 @@ end-to-end ensembles (in-process fast tier, spawned in the ``slow``
 tier) whose on-disk fleet totals must agree with the member run logs.
 """
 
+import io
 import json
 import os
 import re
@@ -24,6 +25,7 @@ from repro.obs.fleet import (
     read_jsonl_tolerant,
     status_lines,
     status_rows,
+    watch_status,
 )
 from repro.obs.metrics import (
     DEFAULT_SERIES_CAPACITY,
@@ -495,6 +497,27 @@ class TestStatusView:
     def test_empty_dir_is_not_an_error(self, tmp_path):
         assert status_rows(str(tmp_path)) == []
         assert any("no members" in ln for ln in status_lines(str(tmp_path)))
+
+    def test_watch_single_shot_and_missing_dir(self, tmp_path):
+        buf = io.StringIO()
+        assert watch_status(self.synthetic_run_dir(tmp_path),
+                            stream=buf) == 0
+        assert "fleet status" in buf.getvalue()
+        # bounded watch over a dir that never exists: placeholder rows,
+        # not a traceback, and a clean exit after `iterations` renders
+        buf = io.StringIO()
+        assert watch_status(str(tmp_path / "gone"), interval=0.0,
+                            iterations=2, stream=buf) == 0
+        assert buf.getvalue().count("fleet status") == 2
+
+    def test_watch_ctrl_c_exits_clean(self, tmp_path, monkeypatch):
+        def boom(_seconds):
+            raise KeyboardInterrupt
+
+        monkeypatch.setattr("repro.obs.fleet.time.sleep", boom)
+        buf = io.StringIO()
+        assert watch_status(self.synthetic_run_dir(tmp_path), interval=5.0,
+                            stream=buf) == 0
 
 
 # ----------------------------------------------------------------------

@@ -645,7 +645,8 @@ class TestRunLogDurability:
                      reason="killed by signal 9", delay_s=0.25, resume=True,
                      dt_scale=1.0)
             log.emit("member_quarantined", member="m0", attempts=3,
-                     diagnosis="quarantined after 3 attempt(s)")
+                     diagnosis="worker_death after 3 attempt(s)",
+                     verdict="worker_death", bundle=None)
             log.emit("member_end", member="m0", status="quarantined",
                      attempts=3, wall_s=1.5)
             log.emit("ensemble_summary", members=1, ok=0, recovered=0,

@@ -338,6 +338,31 @@ class TestSummarizer:
     def test_empty_trace_summary(self):
         s = summarize_trace({"traceEvents": []})
         assert s["wall_s"] == 0.0 and s["halo"] is None
+        assert s["dropped"] == 0 and s["truncated"] is False
+
+    def test_truncated_trace_surfaces_drop_count(self):
+        # regression: a wrapped exporter ring used to vanish silently —
+        # the summary must carry the drop count and warn the reader that
+        # every number under-counts the run
+        tel = get_telemetry()
+        tel.enable(trace=True, trace_capacity=2)
+        for i in range(7):
+            tel.add_span(f"s{i}", float(i), float(i) + 0.1)
+        doc = chrome_trace(tel.trace_snapshot())
+        s = summarize_trace(doc)
+        assert s["dropped"] == 5
+        assert s["capacity"] == 2
+        assert s["truncated"] is True
+        text = "\n".join(trace_summary_lines(s, doc["otherData"]))
+        assert "WARNING: trace truncated" in text
+        assert "5 span(s) dropped" in text
+
+    def test_untruncated_trace_has_no_warning(self):
+        doc, _ = self._traced_partitioned_doc()
+        s = summarize_trace(doc)
+        assert s["truncated"] is False
+        text = "\n".join(trace_summary_lines(s, doc["otherData"]))
+        assert "WARNING: trace truncated" not in text
 
 
 # ----------------------------------------------------------------------

@@ -131,19 +131,22 @@ def compare(doc: dict, threshold: float = 0.25, min_history: int = 3):
                          f"{cell['model_gflops']:.2f} GFLOP/s "
                          f"({100 * cell.get('efficiency', 0):.1f}% of model)")
 
-    # instrumentation budget: the disabled metric-registry fast path must
-    # stay inside the guard-discipline budget relative to a real step
-    cell = newest.get("benches", {}).get("metrics_overhead")
-    if cell and "step_fraction" in cell:
+    # instrumentation budget: the disabled metric-registry fast path and
+    # the always-on flight-recorder hot path must both stay inside the
+    # guard-discipline budget relative to a real step
+    for name, what in (("metrics_overhead", "disabled guard sites"),
+                       ("blackbox_overhead", "flight-recorder sites")):
+        cell = newest.get("benches", {}).get(name)
+        if not cell or "step_fraction" not in cell:
+            continue
         frac = cell["step_fraction"]
         if frac > _METRICS_BUDGET:
             errors.append(
-                f"metrics_overhead: disabled-path guard sites cost "
-                f"{frac:.2%} of a step (> {_METRICS_BUDGET:.0%} budget) — "
-                "the registry fast path regressed"
+                f"{name}: {what} cost {frac:.2%} of a step "
+                f"(> {_METRICS_BUDGET:.0%} budget) — the hot path regressed"
             )
         else:
-            lines.append(f"  metrics budget: disabled guard sites = "
+            lines.append(f"  instrumentation budget: {what} = "
                          f"{frac:.3%} of a step (< {_METRICS_BUDGET:.0%} ok)")
 
     return lines, regressions, errors, len(baseline)

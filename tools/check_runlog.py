@@ -6,12 +6,16 @@ minimum content requirements (used by CI to assert that a kill/resume
 pair actually produced two manifests and a stream of heartbeats).
 ``metrics`` records additionally have their snapshot payload checked
 against the :mod:`repro.obs.metrics` compact-snapshot shape (schema
-version, counter/gauge/histogram structure).
+version, counter/gauge/histogram structure), and ``recovery`` /
+``diverged`` / ``member_quarantined`` records have their schema-v3
+diagnostic-bundle fields type-checked (``bundle`` null-or-string,
+``verdict`` a known classifier verdict).
 
 Pointing the tool at an **ensemble out-dir** instead of a file validates
-``ensemble.jsonl`` plus every member's ``run.jsonl`` and reports each
+``ensemble.jsonl`` plus every member's ``run.jsonl``, reports each
 member's metric staleness — how far behind the fleet's newest record the
-member's last metrics snapshot is.
+member's last metrics snapshot is — and checks that every referenced
+diagnostic bundle actually exists on disk.
 
 Exit status: 0 when the log is valid and all requirements hold,
 1 otherwise.
@@ -28,7 +32,25 @@ import sys
 sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
 
 from repro.obs import validate_jsonl  # noqa: E402
+from repro.obs.blackbox import VERDICTS  # noqa: E402
 from repro.obs.metrics import METRICS_SCHEMA_VERSION  # noqa: E402
+
+#: events whose schema-v3 payload carries a diagnostic-bundle path
+_BUNDLE_EVENTS = ("recovery", "diverged", "member_quarantined", "member_retry")
+
+
+def check_bundle_fields(rec) -> list[str]:
+    """Type errors in a record's bundle/verdict fields (empty = ok)."""
+    errors = []
+    event = rec.get("event")
+    if "bundle" in rec and rec["bundle"] is not None \
+            and not isinstance(rec["bundle"], str):
+        errors.append(f"{event}: 'bundle' must be null or a path string")
+    if "verdict" in rec and rec["verdict"] is not None:
+        if rec["verdict"] not in VERDICTS:
+            errors.append(f"{event}: verdict {rec['verdict']!r} is not one "
+                          f"of {', '.join(VERDICTS)}")
+    return errors
 
 
 def check_metrics_payload(snap) -> list[str]:
@@ -88,10 +110,12 @@ def check_file(path, min_manifests=0, require_heartbeat=False,
         print(f"{label}:{lineno}: {msg}", file=sys.stderr)
         ok = False
 
-    # second pass: metrics payload structure + wall stamps for staleness
+    # second pass: metrics payload structure, bundle-field types, and
+    # wall stamps for staleness
     last_wall = None
     last_metrics_wall = None
     n_metrics = 0
+    bundles = []
     with open(path) as f:
         for lineno, line in enumerate(f, 1):
             line = line.strip()
@@ -113,6 +137,12 @@ def check_file(path, min_manifests=0, require_heartbeat=False,
                 for msg in check_metrics_payload(rec.get("metrics")):
                     print(f"{label}:{lineno}: {msg}", file=sys.stderr)
                     ok = False
+            if rec.get("event") in _BUNDLE_EVENTS:
+                for msg in check_bundle_fields(rec):
+                    print(f"{label}:{lineno}: {msg}", file=sys.stderr)
+                    ok = False
+                if isinstance(rec.get("bundle"), str):
+                    bundles.append(rec["bundle"])
 
     events = result["events"]
     n_manifests = events.get("manifest", 0)
@@ -132,28 +162,32 @@ def check_file(path, min_manifests=0, require_heartbeat=False,
           f"[{summary}] -> {status}")
     return ok, {"events": events, "last_wall": last_wall,
                 "last_metrics_wall": last_metrics_wall,
-                "n_metrics": n_metrics}
+                "n_metrics": n_metrics, "bundles": bundles}
 
 
 def check_ensemble_dir(run_dir, require_metrics=False) -> bool:
     """Validate an ensemble out-dir: supervisor log + member logs +
     per-member metric staleness."""
     ok = True
+    referenced = []  # (source label, bundle path, dirs to resolve against)
     sup = os.path.join(run_dir, "ensemble.jsonl")
     if os.path.exists(sup):
-        sup_ok, _ = check_file(sup, label=sup)
+        sup_ok, sup_info = check_file(sup, label=sup)
         ok = ok and sup_ok
+        referenced += [(sup, b, None) for b in sup_info["bundles"]]
     else:
         print(f"check_runlog: {sup}: no supervisor log", file=sys.stderr)
         ok = False
 
     members = {}
     for name in sorted(os.listdir(run_dir)):
-        log = os.path.join(run_dir, name, "run.jsonl")
+        mdir = os.path.join(run_dir, name)
+        log = os.path.join(mdir, "run.jsonl")
         if os.path.isfile(log):
             m_ok, info = check_file(log, label=log)
             ok = ok and m_ok
             members[name] = info
+            referenced += [(log, b, mdir) for b in info["bundles"]]
 
     if not members:
         print(f"check_runlog: {run_dir}: no member run logs", file=sys.stderr)
@@ -178,6 +212,25 @@ def check_ensemble_dir(run_dir, require_metrics=False) -> bool:
                          "the fleet's newest record")
             line = f"  {name:14} {n} metrics record(s){stale}"
         print(line)
+
+    # every bundle path a log references must exist; tolerate run dirs
+    # that were relocated by also trying the basename in each member dir
+    # (worker logs record the path as seen inside the worker)
+    if referenced:
+        missing = 0
+        member_dirs = [os.path.join(run_dir, n) for n in sorted(members)]
+        for src, bundle, mdir in referenced:
+            candidates = [bundle, os.path.join(run_dir, bundle)]
+            base = os.path.basename(bundle)
+            for d in ([mdir] if mdir else member_dirs):
+                candidates.append(os.path.join(d, base))
+            if not any(os.path.isfile(c) for c in candidates):
+                print(f"check_runlog: {src}: referenced bundle "
+                      f"{bundle!r} not found", file=sys.stderr)
+                missing += 1
+                ok = False
+        print(f"\ndiagnostic bundles: {len(referenced)} referenced, "
+              f"{missing} missing")
     return ok
 
 
